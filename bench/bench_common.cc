@@ -1,0 +1,56 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synthetic.h"
+#include "util/math_util.h"
+
+namespace ldpr {
+namespace bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("LDPR_BENCH_SCALE");
+  if (env == nullptr) return 0.05;
+  const double v = std::atof(env);
+  return Clamp(v, 1e-4, 1.0);
+}
+
+size_t Trials() {
+  const char* env = std::getenv("LDPR_BENCH_TRIALS");
+  if (env == nullptr) return 3;
+  const long v = std::atol(env);
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+Dataset BenchIpums() { return ScaleDataset(MakeIpumsLike(), ScaleFactor()); }
+
+Dataset BenchFire() { return ScaleDataset(MakeFireLike(), ScaleFactor()); }
+
+void PrintBanner(const std::string& what) {
+  const Dataset ipums = BenchIpums();
+  const Dataset fire = BenchFire();
+  std::printf(
+      "%s\n"
+      "scale=%.3g (LDPR_BENCH_SCALE), trials=%zu (LDPR_BENCH_TRIALS)\n"
+      "IPUMS-like: d=%zu n=%llu | Fire-like: d=%zu n=%llu\n\n",
+      what.c_str(), ScaleFactor(), Trials(), ipums.domain_size(),
+      static_cast<unsigned long long>(ipums.num_users()), fire.domain_size(),
+      static_cast<unsigned long long>(fire.num_users()));
+}
+
+ExperimentConfig DefaultConfig(ProtocolKind protocol, AttackKind attack) {
+  ExperimentConfig config;
+  config.protocol = protocol;
+  config.epsilon = 0.5;
+  config.pipeline.attack = attack;
+  config.pipeline.beta = 0.05;
+  config.pipeline.num_targets = 10;
+  config.eta = 0.2;
+  config.trials = Trials();
+  config.seed = 20240213;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace ldpr

@@ -1,0 +1,49 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (Section VI-VII) and prints the same rows/series the
+// paper reports.  Two environment knobs trade fidelity for speed:
+//
+//   LDPR_BENCH_SCALE   fraction of the paper's user counts to simulate
+//                      (default 0.05; set 1 for paper scale)
+//   LDPR_BENCH_TRIALS  trials averaged per configuration
+//                      (default 3; the paper uses 10)
+//
+// All benches are deterministic for a fixed (scale, trials) pair.
+
+#ifndef LDPR_BENCH_BENCH_COMMON_H_
+#define LDPR_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "sim/experiment.h"
+
+namespace ldpr {
+namespace bench {
+
+/// LDPR_BENCH_SCALE, clamped to (0, 1]; default 0.05.
+double ScaleFactor();
+
+/// LDPR_BENCH_TRIALS, at least 1; default 3.
+size_t Trials();
+
+/// The IPUMS stand-in, scaled by ScaleFactor().
+Dataset BenchIpums();
+
+/// The Fire stand-in, scaled by ScaleFactor().
+Dataset BenchFire();
+
+/// Prints the standard bench banner (dataset sizes, scale, trials).
+void PrintBanner(const std::string& what);
+
+/// Builds the default experiment config (paper defaults: eps = 0.5,
+/// beta = 0.05, r = 10, eta = 0.2) with the bench trial count.
+ExperimentConfig DefaultConfig(ProtocolKind protocol, AttackKind attack);
+
+}  // namespace bench
+}  // namespace ldpr
+
+#endif  // LDPR_BENCH_BENCH_COMMON_H_

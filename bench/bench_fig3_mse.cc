@@ -1,0 +1,57 @@
+// Figure 3 reproduction: MSE of Before-recovery, Detection,
+// LDPRecover, and LDPRecover* across two datasets, three LDP
+// protocols, and three attacks (Manip-GRR, MGA-{GRR,OUE,OLH},
+// AA-{GRR,OUE,OLH}), at the paper defaults eps = 0.5, beta = 0.05,
+// r = 10, eta = 0.2.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace ldpr {
+namespace bench {
+namespace {
+
+struct Cell {
+  AttackKind attack;
+  ProtocolKind protocol;
+};
+
+constexpr Cell kCells[] = {
+    {AttackKind::kManip, ProtocolKind::kGrr},
+    {AttackKind::kMga, ProtocolKind::kGrr},
+    {AttackKind::kMga, ProtocolKind::kOue},
+    {AttackKind::kMga, ProtocolKind::kOlh},
+    {AttackKind::kAdaptive, ProtocolKind::kGrr},
+    {AttackKind::kAdaptive, ProtocolKind::kOue},
+    {AttackKind::kAdaptive, ProtocolKind::kOlh},
+};
+
+void RunDataset(const Dataset& dataset, const char* label) {
+  TablePrinter table(
+      std::string("Figure 3 (") + label + "): MSE",
+      {"Before", "Detection", "LDPRecover", "LDPRecover*"});
+  for (const Cell& cell : kCells) {
+    ExperimentConfig config = DefaultConfig(cell.protocol, cell.attack);
+    const ExperimentResult r = RunExperiment(config, dataset);
+    const std::string row = std::string(AttackKindName(cell.attack)) + "-" +
+                            ProtocolKindName(cell.protocol);
+    table.AddRow(row, {r.mse_before.mean(), r.mse_detection.mean(),
+                       r.mse_recover.mean(), r.mse_recover_star.mean()});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ldpr
+
+int main() {
+  using namespace ldpr::bench;
+  PrintBanner("bench_fig3_mse: Figure 3 — recovery accuracy (MSE)");
+  RunDataset(BenchIpums(), "IPUMS");
+  RunDataset(BenchFire(), "Fire");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 5 reproduction: impact of beta, epsilon, and eta on recovery
+// from the adaptive attack, IPUMS dataset.
+
+#include "bench_sweeps_common.h"
+
+int main() {
+  using namespace ldpr::bench;
+  PrintBanner(
+      "bench_fig5_sweeps_ipums: Figure 5 — parameter sweeps (AA, IPUMS)");
+  RunAdaptiveAttackSweeps(BenchIpums(), "IPUMS");
+  return 0;
+}

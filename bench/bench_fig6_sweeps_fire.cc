@@ -1,0 +1,12 @@
+// Figure 6 reproduction: impact of beta, epsilon, and eta on recovery
+// from the adaptive attack, Fire dataset.
+
+#include "bench_sweeps_common.h"
+
+int main() {
+  using namespace ldpr::bench;
+  PrintBanner(
+      "bench_fig6_sweeps_fire: Figure 6 — parameter sweeps (AA, Fire)");
+  RunAdaptiveAttackSweeps(BenchFire(), "Fire");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Engineering micro-benchmarks (google-benchmark): protocol perturb /
+// aggregate throughput, closed-form vs exact aggregation sampling,
+// and the recovery solve itself.  Not a paper figure; quantifies the
+// fast-path ablation DESIGN.md section 5 calls out.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "ldp/factory.h"
+#include "recover/ldprecover.h"
+#include "recover/simplex_projection.h"
+#include "sim/pipeline.h"
+#include "util/random.h"
+
+namespace ldpr {
+namespace {
+
+std::unique_ptr<FrequencyProtocol> Proto(int kind, size_t d) {
+  return MakeProtocol(static_cast<ProtocolKind>(kind), d, 0.5);
+}
+
+void BM_Perturb(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(1));
+  const auto proto = Proto(static_cast<int>(state.range(0)), d);
+  Rng rng(1);
+  ItemId item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto->Perturb(item, rng));
+    item = (item + 1) % d;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Perturb)
+    ->ArgsProduct({{0, 1, 2}, {102, 490}})
+    ->ArgNames({"protocol", "d"});
+
+void BM_AccumulateSupports(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(1));
+  const auto proto = Proto(static_cast<int>(state.range(0)), d);
+  Rng rng(2);
+  const Report report = proto->Perturb(0, rng);
+  std::vector<double> counts(d, 0.0);
+  for (auto _ : state) {
+    proto->AccumulateSupports(report, counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulateSupports)
+    ->ArgsProduct({{0, 1, 2}, {102, 490}})
+    ->ArgNames({"protocol", "d"});
+
+void BM_SampleSupportCountsFast(benchmark::State& state) {
+  const auto proto = Proto(static_cast<int>(state.range(0)), 102);
+  const Dataset ds = ScaleDataset(MakeIpumsLike(), 0.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto->SampleSupportCounts(ds.item_counts, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_users());
+}
+BENCHMARK(BM_SampleSupportCountsFast)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->ArgNames({"protocol"});
+
+void BM_ExactGenuineAggregation(benchmark::State& state) {
+  const auto proto = Proto(static_cast<int>(state.range(0)), 102);
+  const Dataset ds = ScaleDataset(MakeIpumsLike(), 0.01);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExactGenuineSupportCounts(*proto, ds.item_counts, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_users());
+}
+BENCHMARK(BM_ExactGenuineAggregation)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->ArgNames({"protocol"});
+
+void BM_SimplexProjection(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> est(d);
+  for (double& x : est) x = rng.UniformDouble() * 0.05 - 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectToSimplexKkt(est));
+  }
+}
+BENCHMARK(BM_SimplexProjection)->Arg(102)->Arg(490)->Arg(4096);
+
+void BM_LdpRecoverEndToEnd(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto proto = MakeProtocol(ProtocolKind::kOue, d, 0.5);
+  Rng rng(6);
+  std::vector<double> poisoned(d);
+  for (double& x : poisoned) x = rng.UniformDouble() * 0.05 - 0.01;
+  const LdpRecover recover(*proto);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recover.Recover(poisoned));
+  }
+}
+BENCHMARK(BM_LdpRecoverEndToEnd)->Arg(102)->Arg(490);
+
+}  // namespace
+}  // namespace ldpr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#include "bench_sweeps_common.h"
+
+#include "ldp/factory.h"
+
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace ldpr {
+namespace bench {
+namespace {
+
+// The paper's sweep grids (Section VI-D).
+const double kBetas[] = {0.001, 0.005, 0.01, 0.05, 0.1};
+const double kEpsilons[] = {0.1, 0.2, 0.4, 0.8, 1.6};
+const double kEtas[] = {0.01, 0.05, 0.1, 0.2, 0.4};
+
+std::string Fmt(const char* name, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s=%g", name, v);
+  return buf;
+}
+
+void RunOneSweep(const Dataset& dataset, const char* label,
+                 ProtocolKind protocol, const char* param) {
+  TablePrinter table(std::string("Fig 5/6 (") + label + ", AA-" +
+                         ProtocolKindName(protocol) + "): MSE vs " + param,
+                     {"Before", "LDPRecover", "LDPRecover*"});
+  auto run = [&](const ExperimentConfig& config, const std::string& row) {
+    const ExperimentResult r = RunExperiment(config, dataset);
+    table.AddRow(row, {r.mse_before.mean(), r.mse_recover.mean(),
+                       r.mse_recover_star.mean()});
+  };
+
+  if (std::string(param) == "beta") {
+    for (double beta : kBetas) {
+      ExperimentConfig config = DefaultConfig(protocol, AttackKind::kAdaptive);
+      config.run_detection = false;
+      config.pipeline.beta = beta;
+      run(config, Fmt("beta", beta));
+    }
+  } else if (std::string(param) == "epsilon") {
+    for (double eps : kEpsilons) {
+      ExperimentConfig config = DefaultConfig(protocol, AttackKind::kAdaptive);
+      config.run_detection = false;
+      config.epsilon = eps;
+      run(config, Fmt("eps", eps));
+    }
+  } else {
+    for (double eta : kEtas) {
+      ExperimentConfig config = DefaultConfig(protocol, AttackKind::kAdaptive);
+      config.run_detection = false;
+      config.eta = eta;
+      run(config, Fmt("eta", eta));
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+void RunAdaptiveAttackSweeps(const Dataset& dataset, const char* label) {
+  for (ProtocolKind protocol : kAllProtocolKinds) {
+    RunOneSweep(dataset, label, protocol, "beta");
+    RunOneSweep(dataset, label, protocol, "epsilon");
+    RunOneSweep(dataset, label, protocol, "eta");
+  }
+}
+
+}  // namespace bench
+}  // namespace ldpr

@@ -1,0 +1,20 @@
+// Shared driver for the Figure 5 / Figure 6 parameter sweeps
+// (beta, epsilon, eta) of recovery from the adaptive attack.
+
+#ifndef LDPR_BENCH_BENCH_SWEEPS_COMMON_H_
+#define LDPR_BENCH_BENCH_SWEEPS_COMMON_H_
+
+#include "bench_common.h"
+
+namespace ldpr {
+namespace bench {
+
+/// Runs all three sweeps of Figures 5/6 on `dataset` and prints one
+/// table per (sweep, protocol) pair with Before / LDPRecover /
+/// LDPRecover* series, matching the figure columns.
+void RunAdaptiveAttackSweeps(const Dataset& dataset, const char* label);
+
+}  // namespace bench
+}  // namespace ldpr
+
+#endif  // LDPR_BENCH_BENCH_SWEEPS_COMMON_H_

@@ -1,0 +1,71 @@
+// mean_estimation: LDPRecover beyond plain frequencies (Section
+// VII-A of the paper).
+//
+// Harmony estimates a population mean by discretizing each numeric
+// value into {+1, -1} and running binary randomized response — i.e.
+// the task reduces to a 2-item frequency estimation problem.  A
+// poisoning attacker who floods "+1" reports inflates the mean (think
+// star-rating fraud); LDPRecover repairs the underlying binary
+// frequency vector and the corrected mean falls out.
+//
+// Build & run:  ./build/examples/mean_estimation
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ldp/harmony.h"
+#include "recover/ldprecover.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ldpr;
+
+  const Harmony harmony(/*epsilon=*/1.0);
+  const Grr& rr = harmony.protocol();  // binary randomized response
+  Rng rng(99);
+
+  // 100k genuine users with ratings centred at -0.2 (on [-1, 1]).
+  const size_t n = 100000;
+  const double true_mean = -0.2;
+  Aggregator all(rr);
+  for (size_t i = 0; i < n; ++i) {
+    // Individual values jitter around the mean; Harmony only needs
+    // them in [-1, 1].
+    const double value =
+        std::fmax(-1.0, std::fmin(1.0, true_mean + (rng.UniformDouble() - 0.5)));
+    all.Add(harmony.Perturb(value, rng));
+  }
+
+  // 8k malicious users inject raw "+1" reports (bypassing
+  // perturbation) to drag the average up.
+  const size_t m = 8000;
+  for (size_t i = 0; i < m; ++i)
+    all.Add(rr.CraftSupportingReport(Harmony::kPlusOne, rng));
+
+  const std::vector<double> poisoned_freqs = all.EstimateFrequencies();
+  const double poisoned_mean = Harmony::MeanFromFrequencies(poisoned_freqs);
+
+  // Rating fraud promotes the "+1" side, and the server knows which
+  // side a fraudster would promote — so the binary task naturally has
+  // partial knowledge: known_targets = {+1}.  (With d = 2 the
+  // non-knowledge uniform split cannot distinguish the sides.)
+  RecoverOptions options;
+  options.eta = 0.08;  // a rough fraud-rate guess; see the sweep note
+  options.known_targets = std::vector<ItemId>{Harmony::kPlusOne};
+  const LdpRecover recover(rr, options);
+  const double recovered_mean =
+      Harmony::MeanFromFrequencies(recover.Recover(poisoned_freqs));
+
+  std::printf("true mean:       %+.4f\n", true_mean);
+  std::printf("poisoned mean:   %+.4f   (attack pushed it up by %+.4f)\n",
+              poisoned_mean, poisoned_mean - true_mean);
+  std::printf("recovered mean:  %+.4f   (residual error %+.4f)\n",
+              recovered_mean, recovered_mean - true_mean);
+  std::printf(
+      "\nNote: the recovery over-subtracts slightly (the learned target\n"
+      "model is conservative), so the recovered mean errs *below* the\n"
+      "truth — the same effect as the paper's negative frequency gains\n"
+      "for LDPRecover* in Figure 4.\n");
+  return 0;
+}

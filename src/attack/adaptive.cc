@@ -1,0 +1,33 @@
+#include "attack/adaptive.h"
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+AdaptiveAttack::AdaptiveAttack(std::vector<double> distribution)
+    : distribution_(std::move(distribution)) {
+  LDPR_CHECK(!distribution_->empty());
+}
+
+std::vector<Report> AdaptiveAttack::Craft(const FrequencyProtocol& protocol,
+                                          size_t m, Rng& rng) const {
+  const size_t d = protocol.domain_size();
+  std::vector<double> p;
+  if (distribution_.has_value()) {
+    LDPR_CHECK(distribution_->size() == d);
+    p = *distribution_;
+  } else {
+    p = SampleRandomDistribution(d, rng);
+  }
+  const AliasSampler sampler(p);
+
+  std::vector<Report> reports;
+  reports.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const ItemId v = static_cast<ItemId>(sampler.Sample(rng));
+    reports.push_back(protocol.CraftSupportingReport(v, rng));
+  }
+  return reports;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,3 @@
+#include "attack/attack.h"
+
+// Interface-only translation unit.

@@ -1,0 +1,41 @@
+#include "attack/ipa.h"
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+InputPoisoningAttack::InputPoisoningAttack(
+    std::string name, std::vector<double> input_distribution,
+    std::vector<ItemId> targets)
+    : name_(std::move(name)),
+      input_distribution_(std::move(input_distribution)),
+      targets_(std::move(targets)) {
+  LDPR_CHECK(!input_distribution_.empty());
+}
+
+std::vector<Report> InputPoisoningAttack::Craft(
+    const FrequencyProtocol& protocol, size_t m, Rng& rng) const {
+  LDPR_CHECK(input_distribution_.size() == protocol.domain_size());
+  const AliasSampler sampler(input_distribution_);
+  std::vector<Report> reports;
+  reports.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const ItemId v = static_cast<ItemId>(sampler.Sample(rng));
+    reports.push_back(protocol.Perturb(v, rng));  // honest perturbation
+  }
+  return reports;
+}
+
+std::unique_ptr<InputPoisoningAttack> MakeMgaIpa(size_t d,
+                                                 std::vector<ItemId> targets) {
+  LDPR_CHECK(!targets.empty());
+  std::vector<double> dist(d, 0.0);
+  for (ItemId t : targets) {
+    LDPR_CHECK(t < d);
+    dist[t] = 1.0;
+  }
+  return std::make_unique<InputPoisoningAttack>("MGA-IPA", std::move(dist),
+                                                std::move(targets));
+}
+
+}  // namespace ldpr

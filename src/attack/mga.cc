@@ -1,0 +1,101 @@
+#include "attack/mga.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldp/olh.h"
+#include "ldp/unary.h"
+#include "util/logging.h"
+
+namespace ldpr {
+
+MgaAttack::MgaAttack(std::vector<ItemId> targets, MgaOptions options)
+    : targets_(std::move(targets)), options_(options) {
+  LDPR_CHECK(!targets_.empty());
+}
+
+std::vector<ItemId> MgaAttack::SampleTargets(size_t d, size_t r, Rng& rng) {
+  LDPR_CHECK(r >= 1 && r <= d);
+  return SampleWithoutReplacement(d, r, rng);
+}
+
+Report MgaAttack::CraftOue(const FrequencyProtocol& protocol,
+                           Rng& rng) const {
+  const auto& oue = static_cast<const UnaryEncoding&>(protocol);
+  const size_t d = oue.domain_size();
+  Report r;
+  r.bits.assign(d, 0);
+  size_t ones = 0;
+  for (ItemId t : targets_) {
+    LDPR_CHECK(t < d);
+    if (!r.bits[t]) {
+      r.bits[t] = 1;
+      ++ones;
+    }
+  }
+  if (options_.pad_oue) {
+    // Bring the 1-count up to the expected count of a genuine report
+    // so the crafted vectors pass a naive 1-count anomaly check.
+    const size_t expected =
+        static_cast<size_t>(std::llround(oue.ExpectedOnes()));
+    size_t guard = 0;
+    while (ones < expected && guard < 16 * d) {
+      const ItemId v = static_cast<ItemId>(rng.UniformU64(d));
+      ++guard;
+      if (!r.bits[v]) {
+        r.bits[v] = 1;
+        ++ones;
+      }
+    }
+  }
+  return r;
+}
+
+Report MgaAttack::CraftOlh(const FrequencyProtocol& protocol,
+                           Rng& rng) const {
+  const auto& olh = static_cast<const OlhBase&>(protocol);
+  const uint32_t g = olh.g();
+  Report best;
+  size_t best_hits = 0;
+  std::vector<uint32_t> bucket_hits(g);
+  for (size_t attempt = 0; attempt < options_.olh_seed_tries; ++attempt) {
+    const uint64_t seed = rng.Next();
+    std::fill(bucket_hits.begin(), bucket_hits.end(), 0u);
+    for (ItemId t : targets_) ++bucket_hits[olh.Hash(seed, t)];
+    const auto it = std::max_element(bucket_hits.begin(), bucket_hits.end());
+    const size_t hits = *it;
+    if (hits > best_hits) {
+      best_hits = hits;
+      best.seed = seed;
+      best.value = static_cast<uint32_t>(it - bucket_hits.begin());
+      if (best_hits == targets_.size()) break;  // cannot do better
+    }
+  }
+  LDPR_CHECK(best_hits >= 1);
+  return best;
+}
+
+std::vector<Report> MgaAttack::Craft(const FrequencyProtocol& protocol,
+                                     size_t m, Rng& rng) const {
+  std::vector<Report> reports;
+  reports.reserve(m);
+  switch (protocol.kind()) {
+    case ProtocolKind::kGrr:
+      for (size_t i = 0; i < m; ++i) {
+        const ItemId t = targets_[rng.UniformU64(targets_.size())];
+        reports.push_back(protocol.CraftSupportingReport(t, rng));
+      }
+      break;
+    case ProtocolKind::kOue:
+    case ProtocolKind::kSue:
+      for (size_t i = 0; i < m; ++i) reports.push_back(CraftOue(protocol, rng));
+      break;
+    case ProtocolKind::kOlh:
+    case ProtocolKind::kBlh:
+      for (size_t i = 0; i < m; ++i) reports.push_back(CraftOlh(protocol, rng));
+      break;
+  }
+  return reports;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,44 @@
+// Multi-attacker composition (Section VII-C of the paper): several
+// independent attackers each control a share of the malicious users.
+// The paper observes this is equivalent to a single attacker sampling
+// from the mixture of the individual attacker-designed distributions,
+// so LDPRecover applies unchanged; Figure 10 verifies it empirically
+// with five adaptive attackers.
+
+#ifndef LDPR_ATTACK_MULTI_ATTACKER_H_
+#define LDPR_ATTACK_MULTI_ATTACKER_H_
+
+#include <memory>
+
+#include "attack/attack.h"
+
+namespace ldpr {
+
+class MultiAttacker final : public Attack {
+ public:
+  /// Takes ownership of the component attacks.  Malicious users are
+  /// assigned to attackers uniformly at random (multinomially), as in
+  /// the paper's "randomly assign malicious users to these attackers".
+  explicit MultiAttacker(std::vector<std::unique_ptr<Attack>> attackers);
+
+  std::string Name() const override;
+
+  /// Union of the component attacks' targets (deduplicated).
+  std::vector<ItemId> targets() const override;
+
+  std::vector<Report> Craft(const FrequencyProtocol& protocol, size_t m,
+                            Rng& rng) const override;
+
+  size_t attacker_count() const { return attackers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Attack>> attackers_;
+};
+
+/// Convenience: k independent adaptive attackers (the Figure 10
+/// configuration with k = 5).
+std::unique_ptr<MultiAttacker> MakeMultiAdaptive(size_t k);
+
+}  // namespace ldpr
+
+#endif  // LDPR_ATTACK_MULTI_ATTACKER_H_

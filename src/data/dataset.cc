@@ -1,0 +1,86 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+uint64_t Dataset::num_users() const {
+  uint64_t total = 0;
+  for (uint64_t c : item_counts) total += c;
+  return total;
+}
+
+std::vector<double> Dataset::TrueFrequencies() const {
+  const uint64_t n = num_users();
+  LDPR_CHECK(n > 0);
+  std::vector<double> freqs(item_counts.size());
+  for (size_t v = 0; v < item_counts.size(); ++v)
+    freqs[v] = static_cast<double>(item_counts[v]) / static_cast<double>(n);
+  return freqs;
+}
+
+Dataset MakeDatasetFromCounts(std::string name,
+                              std::vector<uint64_t> item_counts) {
+  LDPR_CHECK(item_counts.size() >= 2);
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.item_counts = std::move(item_counts);
+  LDPR_CHECK(ds.num_users() > 0);
+  return ds;
+}
+
+namespace {
+
+// Largest-remainder apportionment of n over the given weights.
+std::vector<uint64_t> Apportion(const std::vector<double>& weights,
+                                uint64_t n) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  LDPR_CHECK(total > 0.0);
+  const size_t d = weights.size();
+  std::vector<uint64_t> counts(d);
+  std::vector<std::pair<double, size_t>> remainders(d);
+  uint64_t assigned = 0;
+  for (size_t v = 0; v < d; ++v) {
+    const double exact = static_cast<double>(n) * weights[v] / total;
+    counts[v] = static_cast<uint64_t>(std::floor(exact));
+    assigned += counts[v];
+    remainders[v] = {exact - std::floor(exact), v};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = 0; assigned < n; ++i, ++assigned)
+    ++counts[remainders[i % d].second];
+  return counts;
+}
+
+}  // namespace
+
+Dataset MakeDatasetFromFrequencies(std::string name,
+                                   const std::vector<double>& freqs,
+                                   uint64_t n) {
+  LDPR_CHECK(freqs.size() >= 2);
+  LDPR_CHECK(n > 0);
+  return MakeDatasetFromCounts(std::move(name), Apportion(freqs, n));
+}
+
+Dataset ScaleDataset(const Dataset& dataset, double factor) {
+  LDPR_CHECK(factor > 0.0 && factor <= 1.0);
+  if (factor == 1.0) return dataset;
+  const uint64_t n = dataset.num_users();
+  const uint64_t target = std::max<uint64_t>(
+      dataset.domain_size(),
+      static_cast<uint64_t>(std::llround(factor * static_cast<double>(n))));
+  std::vector<double> weights(dataset.domain_size());
+  for (size_t v = 0; v < weights.size(); ++v)
+    weights[v] = static_cast<double>(dataset.item_counts[v]);
+  Dataset out;
+  out.name = dataset.name;
+  out.item_counts = Apportion(weights, target);
+  return out;
+}
+
+}  // namespace ldpr

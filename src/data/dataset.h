@@ -1,0 +1,52 @@
+// Dataset abstraction.
+//
+// For frequency estimation only the item histogram matters (users are
+// exchangeable), so Dataset stores per-item counts rather than a
+// per-user item list.  This makes the closed-form aggregation
+// samplers O(d) instead of O(n) and keeps the Fire-scale datasets
+// (667k users) trivially cheap to carry around.
+
+#ifndef LDPR_DATA_DATASET_H_
+#define LDPR_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldpr {
+
+struct Dataset {
+  std::string name;
+  /// Per-item user counts; the domain size is item_counts.size().
+  std::vector<uint64_t> item_counts;
+
+  size_t domain_size() const { return item_counts.size(); }
+
+  /// Total number of users.
+  uint64_t num_users() const;
+
+  /// The exact item frequencies f_X (counts / n).
+  std::vector<double> TrueFrequencies() const;
+};
+
+/// Builds a dataset from an explicit histogram.
+Dataset MakeDatasetFromCounts(std::string name,
+                              std::vector<uint64_t> item_counts);
+
+/// Builds a dataset of n users whose items follow the given frequency
+/// vector as exactly as integer rounding permits (largest-remainder
+/// apportionment), so TrueFrequencies() ~= freqs.
+Dataset MakeDatasetFromFrequencies(std::string name,
+                                   const std::vector<double>& freqs,
+                                   uint64_t n);
+
+/// Scales a dataset's user count by `factor` in (0, 1], preserving
+/// the frequency shape (largest-remainder rounding).  The benchmark
+/// harness uses this to run CI-sized versions of the paper's
+/// experiments.
+Dataset ScaleDataset(const Dataset& dataset, double factor);
+
+}  // namespace ldpr
+
+#endif  // LDPR_DATA_DATASET_H_

@@ -1,0 +1,46 @@
+#include "data/loader.h"
+
+#include <unordered_map>
+
+#include "util/csv.h"
+
+namespace ldpr {
+
+StatusOr<LoadedDataset> LoadItemCsv(const std::string& path,
+                                    const LoadOptions& options) {
+  auto rows_or = ReadCsvFile(path);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+
+  LoadedDataset out;
+  std::unordered_map<std::string, size_t> ids;
+  std::vector<uint64_t> counts;
+
+  size_t row_index = 0;
+  for (const auto& row : rows) {
+    ++row_index;
+    if (options.has_header && row_index == 1) continue;
+    if (options.column >= row.size()) {
+      return InvalidArgumentError("row " + std::to_string(row_index) +
+                                  " has no column " +
+                                  std::to_string(options.column) + " in " +
+                                  path);
+    }
+    const std::string& label = row[options.column];
+    auto [it, inserted] = ids.emplace(label, ids.size());
+    if (inserted) {
+      out.item_labels.push_back(label);
+      counts.push_back(0);
+    }
+    ++counts[it->second];
+  }
+
+  if (counts.size() < 2) {
+    return InvalidArgumentError("dataset needs at least 2 distinct items: " +
+                                path);
+  }
+  out.dataset = MakeDatasetFromCounts(path, std::move(counts));
+  return out;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,40 @@
+// CSV dataset loading: builds an item histogram from a column of a
+// CSV file, assigning dense ItemIds in order of first appearance.
+// This is the path a deployment with the real IPUMS/Fire extracts
+// would use; the repository's benches use the synthetic stand-ins.
+
+#ifndef LDPR_DATA_LOADER_H_
+#define LDPR_DATA_LOADER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace ldpr {
+
+struct LoadOptions {
+  /// Zero-based column holding the item value.
+  size_t column = 0;
+  /// Skip the first row (header).
+  bool has_header = true;
+};
+
+/// Result of a load: the histogram dataset plus the item-id -> label
+/// mapping.
+struct LoadedDataset {
+  Dataset dataset;
+  std::vector<std::string> item_labels;
+};
+
+/// Loads a CSV file into a histogram dataset.  Fails when the file is
+/// missing, the column is out of range on any row, or fewer than two
+/// distinct items appear.
+StatusOr<LoadedDataset> LoadItemCsv(const std::string& path,
+                                    const LoadOptions& options = {});
+
+}  // namespace ldpr
+
+#endif  // LDPR_DATA_LOADER_H_

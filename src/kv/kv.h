@@ -1,0 +1,132 @@
+// Key-value collection under LDP and poisoning recovery for it — a
+// prototype of the extension named in the paper's conclusion
+// ("extend LDPRecover to poisoning attacks on LDP protocols for more
+// complex tasks, such as key-value pairs collection").
+//
+// The collection protocol is a single-round PrivKV-style mechanism:
+// each user holds one (key, value) pair with value in [-1, 1];
+//
+//   * the key is perturbed with GRR(d, eps_key);
+//   * if the reported key equals the true key, the value is
+//     discretized into {+1, -1} (probability (1 + v)/2 for +1) and
+//     perturbed with binary randomized response at eps_value;
+//   * if the key flipped to another key, the user attaches a uniform
+//     fake value bit — PrivKV's fake-value rule, which keeps the
+//     value channel independent of the true pair.
+//
+// The server estimates per-key frequencies with the GRR estimator and
+// per-key means by debiasing the +1 counts against the known mixture
+// of true-key and flipped-in reports.
+//
+// A poisoning attacker injects crafted (target key, +1) reports to
+// inflate both the target's frequency and its mean.  KvRecover
+// extends LDPRecover: key frequencies are recovered exactly as in the
+// paper, and the learnt malicious frequencies additionally yield an
+// estimate of the malicious report count per key, which is subtracted
+// from the +1/count tallies before the mean is re-estimated (under
+// the worst-case assumption that crafted values are +1).
+
+#ifndef LDPR_KV_KV_H_
+#define LDPR_KV_KV_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/report.h"
+#include "util/random.h"
+
+namespace ldpr {
+
+/// One user's datum: a key in {0, ..., d-1} and a value in [-1, 1].
+struct KvPair {
+  ItemId key = 0;
+  double value = 0.0;
+};
+
+/// One perturbed key-value report.
+struct KvReport {
+  /// Reported (perturbed) key.
+  ItemId key = 0;
+  /// Perturbed value bit: 1 encodes +1, 0 encodes -1.
+  uint8_t plus_bit = 0;
+};
+
+/// Aggregated server-side estimate.
+struct KvEstimate {
+  /// Per-key frequency estimates (GRR-debiased; may contain negatives
+  /// before recovery).
+  std::vector<double> frequencies;
+  /// Per-key mean estimates in [-1, 1] (clamped).  Keys with
+  /// non-positive estimated support fall back to 0.
+  std::vector<double> means;
+};
+
+class KvProtocol {
+ public:
+  /// `d` keys; the privacy budget is split between the key and value
+  /// channels (eps_key + eps_value composes to the total budget).
+  KvProtocol(size_t d, double eps_key, double eps_value);
+
+  size_t domain_size() const { return d_; }
+  const Grr& key_protocol() const { return key_grr_; }
+
+  /// Probability a perturbed value bit keeps its discretized sign.
+  double value_keep_probability() const { return value_p_; }
+
+  /// Client side: perturbs one key-value pair.
+  KvReport Perturb(const KvPair& pair, Rng& rng) const;
+
+  /// Crafted malicious report promoting `key` with value +1
+  /// (bypasses perturbation, Section IV-A threat model).
+  KvReport CraftReport(ItemId key) const;
+
+ private:
+  size_t d_;
+  Grr key_grr_;
+  double value_p_;
+};
+
+/// Streaming aggregator for key-value reports.
+class KvAggregator {
+ public:
+  explicit KvAggregator(const KvProtocol& protocol);
+
+  void Add(const KvReport& report);
+  void AddAll(const std::vector<KvReport>& reports);
+
+  size_t report_count() const { return n_; }
+
+  /// Debiased frequency + mean estimates over everything seen.
+  KvEstimate Estimate() const;
+
+  /// Raw per-key report counts (used by recovery).
+  const std::vector<double>& key_counts() const { return key_counts_; }
+  /// Raw per-key +1-bit counts (used by recovery).
+  const std::vector<double>& plus_counts() const { return plus_counts_; }
+
+ private:
+  const KvProtocol& protocol_;
+  std::vector<double> key_counts_;
+  std::vector<double> plus_counts_;
+  size_t n_ = 0;
+};
+
+/// Options for key-value recovery (mirrors RecoverOptions).
+struct KvRecoverOptions {
+  /// The server's (over-)estimate of m/n.
+  double eta = 0.2;
+  /// Known attacker-selected keys (LDPRecover* mode).
+  std::optional<std::vector<ItemId>> known_targets;
+};
+
+/// Recovers frequency and mean estimates from a poisoned aggregate:
+/// frequencies via LDPRecover on the key channel; means by removing
+/// the implied malicious (key, +1) tallies before re-debiasing.
+KvEstimate KvRecover(const KvProtocol& protocol, const KvAggregator& poisoned,
+                     const KvRecoverOptions& options = {});
+
+}  // namespace ldpr
+
+#endif  // LDPR_KV_KV_H_

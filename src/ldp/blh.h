@@ -1,0 +1,24 @@
+// Binary Local Hashing (BLH) — OLH with the hash range fixed to
+// g = 2 (Bassily & Smith 2015 style).  Strictly dominated by OLH's
+// optimized g in estimation variance, but commonly deployed for its
+// single-bit reports; included as an extra pure protocol the paper's
+// recovery framework covers.
+
+#ifndef LDPR_LDP_BLH_H_
+#define LDPR_LDP_BLH_H_
+
+#include "ldp/olh.h"
+
+namespace ldpr {
+
+class Blh final : public OlhBase {
+ public:
+  Blh(size_t d, double epsilon) : OlhBase(d, epsilon, /*g=*/2) {}
+
+  ProtocolKind kind() const override { return ProtocolKind::kBlh; }
+  std::string Name() const override { return "BLH"; }
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_LDP_BLH_H_

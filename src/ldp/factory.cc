@@ -1,0 +1,43 @@
+#include "ldp/factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ldp/blh.h"
+#include "ldp/grr.h"
+#include "ldp/olh.h"
+#include "ldp/oue.h"
+#include "ldp/sue.h"
+
+namespace ldpr {
+
+std::unique_ptr<FrequencyProtocol> MakeProtocol(ProtocolKind kind, size_t d,
+                                                double epsilon) {
+  switch (kind) {
+    case ProtocolKind::kGrr:
+      return std::make_unique<Grr>(d, epsilon);
+    case ProtocolKind::kOue:
+      return std::make_unique<Oue>(d, epsilon);
+    case ProtocolKind::kOlh:
+      return std::make_unique<Olh>(d, epsilon);
+    case ProtocolKind::kSue:
+      return std::make_unique<Sue>(d, epsilon);
+    case ProtocolKind::kBlh:
+      return std::make_unique<Blh>(d, epsilon);
+  }
+  return nullptr;
+}
+
+StatusOr<ProtocolKind> ParseProtocolKind(const std::string& name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "GRR") return ProtocolKind::kGrr;
+  if (upper == "OUE") return ProtocolKind::kOue;
+  if (upper == "OLH") return ProtocolKind::kOlh;
+  if (upper == "SUE") return ProtocolKind::kSue;
+  if (upper == "BLH") return ProtocolKind::kBlh;
+  return InvalidArgumentError("unknown protocol: " + name);
+}
+
+}  // namespace ldpr

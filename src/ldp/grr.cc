@@ -1,0 +1,80 @@
+#include "ldp/grr.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+Grr::Grr(size_t d, double epsilon) : FrequencyProtocol(d, epsilon) {
+  const double e = std::exp(epsilon);
+  const double denom = static_cast<double>(d) - 1.0 + e;
+  p_ = e / denom;
+  q_ = 1.0 / denom;
+}
+
+Report Grr::Perturb(ItemId item, Rng& rng) const {
+  LDPR_CHECK(item < d_);
+  Report r;
+  if (rng.Bernoulli(p_)) {
+    r.value = item;
+  } else {
+    // Uniform over the d-1 items other than `item`.
+    uint64_t draw = rng.UniformU64(d_ - 1);
+    if (draw >= item) ++draw;
+    r.value = static_cast<uint32_t>(draw);
+  }
+  return r;
+}
+
+bool Grr::Supports(const Report& report, ItemId item) const {
+  return report.value == item;
+}
+
+void Grr::AccumulateSupports(const Report& report,
+                             std::vector<double>& counts) const {
+  LDPR_CHECK(report.value < counts.size());
+  counts[report.value] += 1.0;
+}
+
+double Grr::CountVariance(double f, size_t n) const {
+  const double e = std::exp(epsilon_);
+  const double nd = static_cast<double>(n);
+  const double dd = static_cast<double>(d_);
+  return nd * (dd - 2.0 + e) / ((e - 1.0) * (e - 1.0)) +
+         nd * f * (dd - 2.0) / (e - 1.0);
+}
+
+std::vector<double> Grr::SampleSupportCounts(
+    const std::vector<uint64_t>& item_counts, Rng& rng) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  std::vector<double> counts(d_, 0.0);
+  // Reusable uniform weights over d-1 "other" bins.
+  std::vector<double> uniform_other(d_ - 1, 1.0);
+  for (ItemId item = 0; item < d_; ++item) {
+    const uint64_t n_item = item_counts[item];
+    if (n_item == 0) continue;
+    const uint64_t kept = rng.Binomial(n_item, p_);
+    counts[item] += static_cast<double>(kept);
+    const uint64_t misreports = n_item - kept;
+    if (misreports == 0) continue;
+    // Spread misreports uniformly over the other d-1 items.
+    const std::vector<uint64_t> spread =
+        SampleMultinomial(misreports, uniform_other, rng);
+    for (size_t j = 0; j < spread.size(); ++j) {
+      const size_t target = (j < item) ? j : j + 1;
+      counts[target] += static_cast<double>(spread[j]);
+    }
+  }
+  return counts;
+}
+
+Report Grr::CraftSupportingReport(ItemId item, Rng& rng) const {
+  (void)rng;
+  LDPR_CHECK(item < d_);
+  Report r;
+  r.value = item;
+  return r;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,53 @@
+// Generalized Randomized Response (GRR), Kairouz et al. 2014;
+// Section III-B of the paper, Eqs. (2)-(4).
+//
+// Each user reports her true item with probability
+// p = e^eps / (d - 1 + e^eps) and any other specific item with
+// probability q = 1 / (d - 1 + e^eps).  A report supports exactly the
+// single item it carries.
+
+#ifndef LDPR_LDP_GRR_H_
+#define LDPR_LDP_GRR_H_
+
+#include "ldp/protocol.h"
+
+namespace ldpr {
+
+class Grr final : public FrequencyProtocol {
+ public:
+  Grr(size_t d, double epsilon);
+
+  ProtocolKind kind() const override { return ProtocolKind::kGrr; }
+  std::string Name() const override { return "GRR"; }
+
+  double p() const override { return p_; }
+  double q() const override { return q_; }
+
+  Report Perturb(ItemId item, Rng& rng) const override;
+  bool Supports(const Report& report, ItemId item) const override;
+  void AccumulateSupports(const Report& report,
+                          std::vector<double>& counts) const override;
+
+  /// Eq. (4): Var[Phi(v)] = n*(d-2+e^eps)/(e^eps-1)^2
+  ///                        + n*f*(d-2)/(e^eps-1).
+  double CountVariance(double f, size_t n) const override;
+
+  /// Exact closed-form sampling: kept reports are Binomial(n_v, p);
+  /// each misreport lands uniformly on one of the d-1 other items, so
+  /// misreports from item v spread multinomially.  O(d^2) worst case,
+  /// O(#populated items * d) in practice.
+  std::vector<double> SampleSupportCounts(
+      const std::vector<uint64_t>& item_counts, Rng& rng) const override;
+
+  /// An attacker-crafted GRR report for `item` is simply the item
+  /// itself (malicious users bypass perturbation).
+  Report CraftSupportingReport(ItemId item, Rng& rng) const override;
+
+ private:
+  double p_;
+  double q_;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_LDP_GRR_H_

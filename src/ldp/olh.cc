@@ -1,0 +1,86 @@
+#include "ldp/olh.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+OlhBase::OlhBase(size_t d, double epsilon, uint32_t g)
+    : FrequencyProtocol(d, epsilon), g_(g) {
+  LDPR_CHECK(g_ >= 2);
+  const double e = std::exp(epsilon);
+  p_ = e / (e + static_cast<double>(g_) - 1.0);
+  q_ = 1.0 / static_cast<double>(g_);
+}
+
+Report OlhBase::Perturb(ItemId item, Rng& rng) const {
+  LDPR_CHECK(item < d_);
+  Report r;
+  r.seed = rng.Next();
+  const uint32_t hashed = Hash(r.seed, item);
+  // GRR over the g-sized hashed domain.
+  if (rng.Bernoulli(p_)) {
+    r.value = hashed;
+  } else {
+    uint64_t draw = rng.UniformU64(g_ - 1);
+    if (draw >= hashed) ++draw;
+    r.value = static_cast<uint32_t>(draw);
+  }
+  return r;
+}
+
+bool OlhBase::Supports(const Report& report, ItemId item) const {
+  LDPR_CHECK(item < d_);
+  return Hash(report.seed, item) == report.value;
+}
+
+void OlhBase::AccumulateSupports(const Report& report,
+                                 std::vector<double>& counts) const {
+  LDPR_CHECK(counts.size() == d_);
+  const SeededHash h(report.seed, g_);
+  for (ItemId v = 0; v < d_; ++v) {
+    if (h(v) == report.value) counts[v] += 1.0;
+  }
+}
+
+double OlhBase::CountVariance(double f, size_t n) const {
+  (void)f;
+  const double diff = p_ - q_;
+  return static_cast<double>(n) * q_ * (1.0 - q_) / (diff * diff);
+}
+
+std::vector<double> OlhBase::SampleSupportCounts(
+    const std::vector<uint64_t>& item_counts, Rng& rng) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+  std::vector<double> counts(d_);
+  for (size_t v = 0; v < d_; ++v) {
+    const uint64_t own = item_counts[v];
+    const uint64_t from_own = rng.Binomial(own, p_);
+    const uint64_t from_rest = rng.Binomial(n - own, q_);
+    counts[v] = static_cast<double>(from_own + from_rest);
+  }
+  return counts;
+}
+
+Report OlhBase::CraftSupportingReport(ItemId item, Rng& rng) const {
+  LDPR_CHECK(item < d_);
+  Report r;
+  r.seed = rng.Next();
+  r.value = Hash(r.seed, item);
+  return r;
+}
+
+namespace {
+uint32_t DefaultG(double epsilon, uint32_t g) {
+  if (g != 0) return g;
+  return static_cast<uint32_t>(std::ceil(std::exp(epsilon) + 1.0));
+}
+}  // namespace
+
+Olh::Olh(size_t d, double epsilon, uint32_t g)
+    : OlhBase(d, epsilon, DefaultG(epsilon, g)) {}
+
+}  // namespace ldpr

@@ -1,0 +1,17 @@
+#include "ldp/oue.h"
+
+#include <cmath>
+
+namespace ldpr {
+
+Oue::Oue(size_t d, double epsilon)
+    : UnaryEncoding(d, epsilon, /*p_keep=*/0.5,
+                    /*q_flip=*/1.0 / (std::exp(epsilon) + 1.0)) {}
+
+double Oue::CountVariance(double f, size_t n) const {
+  (void)f;  // Eq. (7) is frequency-independent.
+  const double e = std::exp(epsilon_);
+  return static_cast<double>(n) * 4.0 * e / ((e - 1.0) * (e - 1.0));
+}
+
+}  // namespace ldpr

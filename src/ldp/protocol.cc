@@ -1,0 +1,106 @@
+#include "ldp/protocol.h"
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kGrr:
+      return "GRR";
+    case ProtocolKind::kOue:
+      return "OUE";
+    case ProtocolKind::kOlh:
+      return "OLH";
+    case ProtocolKind::kSue:
+      return "SUE";
+    case ProtocolKind::kBlh:
+      return "BLH";
+  }
+  return "UNKNOWN";
+}
+
+FrequencyProtocol::FrequencyProtocol(size_t d, double epsilon)
+    : d_(d), epsilon_(epsilon) {
+  LDPR_CHECK(d >= 2);
+  LDPR_CHECK(epsilon > 0.0);
+}
+
+void FrequencyProtocol::AccumulateSupports(const Report& report,
+                                           std::vector<double>& counts) const {
+  LDPR_CHECK(counts.size() == d_);
+  for (ItemId v = 0; v < d_; ++v) {
+    if (Supports(report, v)) counts[v] += 1.0;
+  }
+}
+
+std::vector<double> FrequencyProtocol::AdjustCounts(
+    const std::vector<double>& support_counts, size_t n) const {
+  LDPR_CHECK(support_counts.size() == d_);
+  const double pp = p();
+  const double qq = q();
+  LDPR_CHECK(pp > qq);
+  std::vector<double> est(d_);
+  const double nq = static_cast<double>(n) * qq;
+  const double denom = pp - qq;
+  for (size_t v = 0; v < d_; ++v) est[v] = (support_counts[v] - nq) / denom;
+  return est;
+}
+
+std::vector<double> FrequencyProtocol::EstimateFrequencies(
+    const std::vector<double>& support_counts, size_t n) const {
+  LDPR_CHECK(n > 0);
+  std::vector<double> est = AdjustCounts(support_counts, n);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (double& e : est) e *= inv_n;
+  return est;
+}
+
+double FrequencyProtocol::FrequencyVariance(double f, size_t n) const {
+  LDPR_CHECK(n > 0);
+  const double nd = static_cast<double>(n);
+  return CountVariance(f, n) / (nd * nd);
+}
+
+std::vector<double> FrequencyProtocol::SampleSupportCounts(
+    const std::vector<uint64_t>& item_counts, Rng& rng) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  std::vector<double> counts(d_, 0.0);
+  for (ItemId item = 0; item < d_; ++item) {
+    for (uint64_t u = 0; u < item_counts[item]; ++u) {
+      const Report r = Perturb(item, rng);
+      AccumulateSupports(r, counts);
+    }
+  }
+  return counts;
+}
+
+Aggregator::Aggregator(const FrequencyProtocol& protocol)
+    : protocol_(protocol), counts_(protocol.domain_size(), 0.0) {}
+
+void Aggregator::Add(const Report& report) {
+  protocol_.AccumulateSupports(report, counts_);
+  ++report_count_;
+}
+
+void Aggregator::AddAll(const std::vector<Report>& reports) {
+  for (const Report& r : reports) Add(r);
+}
+
+void Aggregator::AddSampledCounts(const std::vector<double>& counts,
+                                  size_t n) {
+  LDPR_CHECK(counts.size() == counts_.size());
+  for (size_t v = 0; v < counts_.size(); ++v) counts_[v] += counts[v];
+  report_count_ += n;
+}
+
+std::vector<double> Aggregator::EstimateFrequencies() const {
+  return EstimateFrequencies(report_count_);
+}
+
+std::vector<double> Aggregator::EstimateFrequencies(size_t n_override) const {
+  LDPR_CHECK(n_override > 0);
+  return protocol_.EstimateFrequencies(counts_, n_override);
+}
+
+}  // namespace ldpr

@@ -1,0 +1,165 @@
+// FrequencyProtocol: the common interface of pure LDP protocols for
+// frequency estimation (Section III of the paper).
+//
+// A protocol is a pair (Psi, Phi): users perturb with Psi
+// (Perturb()), and the server aggregates with Phi, which for every
+// pure protocol has the unified form of Eq. (11):
+//
+//     Phi_eps(v) = (C(v) - n*q) / (p - q),
+//
+// where C(v) counts the reports whose support set contains v
+// (Eq. (12)-(13)).  Each concrete protocol supplies its perturbation
+// probabilities p and q, its perturbation algorithm, and its support
+// predicate; the shared aggregation and estimation logic lives here.
+
+#ifndef LDPR_LDP_PROTOCOL_H_
+#define LDPR_LDP_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldp/report.h"
+#include "util/random.h"
+
+namespace ldpr {
+
+/// Discriminates concrete protocol implementations; attacks switch on
+/// this to craft protocol-specific malicious reports.
+enum class ProtocolKind {
+  kGrr,
+  kOue,
+  kOlh,
+  kSue,  // symmetric unary encoding (basic RAPPOR)
+  kBlh,  // binary local hashing (OLH with g = 2)
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+/// Interface of a pure LDP frequency-estimation protocol.
+class FrequencyProtocol {
+ public:
+  /// `d` is the input-domain size |D| (>= 2); `epsilon` the privacy
+  /// budget (> 0).
+  FrequencyProtocol(size_t d, double epsilon);
+  virtual ~FrequencyProtocol() = default;
+
+  FrequencyProtocol(const FrequencyProtocol&) = delete;
+  FrequencyProtocol& operator=(const FrequencyProtocol&) = delete;
+
+  virtual ProtocolKind kind() const = 0;
+  virtual std::string Name() const = 0;
+
+  size_t domain_size() const { return d_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Probability that a genuine report supports the reporter's own
+  /// item ("p" in the paper's unified notation).
+  virtual double p() const = 0;
+
+  /// Probability that a genuine report supports any other given item
+  /// ("q").
+  virtual double q() const = 0;
+
+  /// The user-side perturbation algorithm Psi_eps.
+  virtual Report Perturb(ItemId item, Rng& rng) const = 0;
+
+  /// The support predicate: true iff `item` is in S(report)
+  /// (Eq. (13)).
+  virtual bool Supports(const Report& report, ItemId item) const = 0;
+
+  /// Adds the report's support indicator for every item to `counts`
+  /// (size d).  The default loops Supports(); concrete protocols
+  /// override with O(|S|) implementations where possible.
+  virtual void AccumulateSupports(const Report& report,
+                                  std::vector<double>& counts) const;
+
+  /// Server-side estimation Phi_eps: converts raw support counts into
+  /// unbiased count estimates, Eq. (11): (C(v) - n*q) / (p - q).
+  std::vector<double> AdjustCounts(const std::vector<double>& support_counts,
+                                   size_t n) const;
+
+  /// Converts raw support counts into estimated *frequencies*,
+  /// i.e. AdjustCounts() divided by n.
+  std::vector<double> EstimateFrequencies(
+      const std::vector<double>& support_counts, size_t n) const;
+
+  /// Theoretical variance of the estimated count Phi(v) for an item
+  /// with true frequency f (Eqs. (4), (7), (10)).
+  virtual double CountVariance(double f, size_t n) const = 0;
+
+  /// Theoretical variance of the estimated *frequency* of an item
+  /// with true frequency f: CountVariance / n^2.
+  double FrequencyVariance(double f, size_t n) const;
+
+  /// Samples the support-count vector the server would observe from
+  /// genuine users holding `item_counts[v]` copies of each item,
+  /// without materializing per-user reports.
+  ///
+  /// The default implementation simulates each user exactly.  GRR and
+  /// OUE override with exact closed-form sampling (multinomial /
+  /// independent binomials); OLH overrides with per-item-exact
+  /// binomials (the per-item marginal law is exactly binomial; only
+  /// the cross-item correlation induced by shared hash seeds is
+  /// dropped — see DESIGN.md section 5).
+  virtual std::vector<double> SampleSupportCounts(
+      const std::vector<uint64_t>& item_counts, Rng& rng) const;
+
+  /// Crafts a report in the *encoded* domain that deterministically
+  /// supports `item` — the building block of poisoning attacks, which
+  /// bypass the perturbation step (Section IV-A).
+  virtual Report CraftSupportingReport(ItemId item, Rng& rng) const = 0;
+
+  /// Expected number of items a CraftSupportingReport() report
+  /// supports, E[sum_v 1_{S(y)}(v)].  GRR and one-hot OUE reports
+  /// support exactly the chosen item (budget 1 — the paper's adaptive
+  /// attack model); an OLH report additionally supports every item
+  /// colliding into its bucket, budget 1 + (d-1)/g.
+  virtual double CraftedSupportBudget() const { return 1.0; }
+
+ protected:
+  size_t d_;
+  double epsilon_;
+};
+
+/// Streaming server-side aggregator: feeds reports one at a time and
+/// keeps only the d support counters, so aggregating hundreds of
+/// thousands of reports is O(d) memory.
+class Aggregator {
+ public:
+  explicit Aggregator(const FrequencyProtocol& protocol);
+
+  /// Folds one report into the support counts.
+  void Add(const Report& report);
+
+  /// Folds a batch of reports.
+  void AddAll(const std::vector<Report>& reports);
+
+  /// Number of reports aggregated so far.
+  size_t report_count() const { return report_count_; }
+
+  /// Raw support counts C(v).
+  const std::vector<double>& support_counts() const { return counts_; }
+
+  /// Merges pre-sampled support counts for `n` additional users (fast
+  /// simulation path).
+  void AddSampledCounts(const std::vector<double>& counts, size_t n);
+
+  /// Unbiased frequency estimates over all reports seen so far.
+  std::vector<double> EstimateFrequencies() const;
+
+  /// Unbiased frequency estimates normalizing by an explicit user
+  /// count (used by Detection, which drops reports after the fact).
+  std::vector<double> EstimateFrequencies(size_t n_override) const;
+
+ private:
+  const FrequencyProtocol& protocol_;
+  std::vector<double> counts_;
+  size_t report_count_ = 0;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_LDP_PROTOCOL_H_

@@ -1,0 +1,17 @@
+#include "ldp/sue.h"
+
+#include <cmath>
+
+namespace ldpr {
+
+namespace {
+double SueP(double epsilon) {
+  const double half = std::exp(epsilon / 2.0);
+  return half / (half + 1.0);
+}
+}  // namespace
+
+Sue::Sue(size_t d, double epsilon)
+    : UnaryEncoding(d, epsilon, SueP(epsilon), 1.0 - SueP(epsilon)) {}
+
+}  // namespace ldpr

@@ -1,0 +1,75 @@
+#include "ldp/unary.h"
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+UnaryEncoding::UnaryEncoding(size_t d, double epsilon, double p_keep,
+                             double q_flip)
+    : FrequencyProtocol(d, epsilon), p_keep_(p_keep), q_flip_(q_flip) {
+  LDPR_CHECK(p_keep_ > q_flip_);
+  LDPR_CHECK(q_flip_ > 0.0 && p_keep_ < 1.0);
+}
+
+Report UnaryEncoding::Perturb(ItemId item, Rng& rng) const {
+  LDPR_CHECK(item < d_);
+  Report r;
+  r.bits.assign(d_, 0);
+  for (size_t i = 0; i < d_; ++i) {
+    const double keep_prob = (i == item) ? p_keep_ : q_flip_;
+    r.bits[i] = rng.Bernoulli(keep_prob) ? 1 : 0;
+  }
+  return r;
+}
+
+bool UnaryEncoding::Supports(const Report& report, ItemId item) const {
+  LDPR_CHECK(report.bits.size() == d_);
+  LDPR_CHECK(item < d_);
+  return report.bits[item] != 0;
+}
+
+void UnaryEncoding::AccumulateSupports(const Report& report,
+                                       std::vector<double>& counts) const {
+  LDPR_CHECK(report.bits.size() == d_);
+  LDPR_CHECK(counts.size() == d_);
+  for (size_t i = 0; i < d_; ++i) {
+    if (report.bits[i]) counts[i] += 1.0;
+  }
+}
+
+double UnaryEncoding::CountVariance(double f, size_t n) const {
+  const double nd = static_cast<double>(n);
+  const double diff = p_keep_ - q_flip_;
+  return (nd * f * p_keep_ * (1.0 - p_keep_) +
+          nd * (1.0 - f) * q_flip_ * (1.0 - q_flip_)) /
+         (diff * diff);
+}
+
+std::vector<double> UnaryEncoding::SampleSupportCounts(
+    const std::vector<uint64_t>& item_counts, Rng& rng) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+  std::vector<double> counts(d_);
+  for (size_t v = 0; v < d_; ++v) {
+    const uint64_t own = item_counts[v];
+    counts[v] = static_cast<double>(rng.Binomial(own, p_keep_) +
+                                    rng.Binomial(n - own, q_flip_));
+  }
+  return counts;
+}
+
+Report UnaryEncoding::CraftSupportingReport(ItemId item, Rng& rng) const {
+  (void)rng;
+  LDPR_CHECK(item < d_);
+  Report r;
+  r.bits.assign(d_, 0);
+  r.bits[item] = 1;
+  return r;
+}
+
+double UnaryEncoding::ExpectedOnes() const {
+  return p_keep_ + static_cast<double>(d_ - 1) * q_flip_;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,55 @@
+// Unary-encoding protocol family (Wang et al. 2017).
+//
+// The user one-hot encodes her item into a d-bit vector and perturbs
+// each bit independently: the 1-bit stays 1 with probability p_keep,
+// each 0-bit flips to 1 with probability q_flip.  OUE (ldp/oue.h)
+// optimizes (p_keep, q_flip) = (1/2, 1/(e^eps + 1)); SUE (basic
+// RAPPOR, ldp/sue.h) uses the symmetric (e^{eps/2}/(e^{eps/2}+1),
+// 1/(e^{eps/2}+1)).  Everything structural — perturbation, support,
+// exact closed-form aggregation sampling — is shared here.
+
+#ifndef LDPR_LDP_UNARY_H_
+#define LDPR_LDP_UNARY_H_
+
+#include "ldp/protocol.h"
+
+namespace ldpr {
+
+class UnaryEncoding : public FrequencyProtocol {
+ public:
+  double p() const override { return p_keep_; }
+  double q() const override { return q_flip_; }
+
+  Report Perturb(ItemId item, Rng& rng) const override;
+  bool Supports(const Report& report, ItemId item) const override;
+  void AccumulateSupports(const Report& report,
+                          std::vector<double>& counts) const override;
+
+  /// Exact generic unary variance:
+  /// Var[Phi(v)] = (n f p(1-p) + n(1-f) q(1-q)) / (p-q)^2.
+  double CountVariance(double f, size_t n) const override;
+
+  /// Exact closed-form sampling: bits are independent across items,
+  /// so per-item support counts are Binomial(n_v, p) +
+  /// Binomial(n - n_v, q) jointly independently.
+  std::vector<double> SampleSupportCounts(
+      const std::vector<uint64_t>& item_counts, Rng& rng) const override;
+
+  /// One-hot crafted vector (the adaptive-attack sample encoding).
+  Report CraftSupportingReport(ItemId item, Rng& rng) const override;
+
+  /// Expected number of 1-bits in a genuine report: p + (d-1) q.
+  /// MGA pads crafted vectors to this count.
+  double ExpectedOnes() const;
+
+ protected:
+  UnaryEncoding(size_t d, double epsilon, double p_keep, double q_flip);
+
+ private:
+  double p_keep_;
+  double q_flip_;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_LDP_UNARY_H_

@@ -1,0 +1,178 @@
+#include "recover/detection.h"
+
+#include <cmath>
+
+#include "ldp/grr.h"
+#include "ldp/unary.h"
+#include "util/logging.h"
+
+namespace ldpr {
+
+namespace {
+
+// How many of the r targets a report must support to be flagged.
+// GRR reports carry a single item, so supporting any target is the
+// crafted signature.  A crafted OUE vector sets *every* target bit
+// (Cao et al.'s MGA), while a genuine report hits all r only with
+// probability ~q^r — so the all-targets rule separates cleanly.  OLH
+// seed search packs most-but-not-always-all targets into one bucket;
+// a majority rule balances catch rate against collateral damage.
+size_t SuspicionThreshold(ProtocolKind kind, size_t num_targets) {
+  switch (kind) {
+    case ProtocolKind::kGrr:
+      return 1;
+    case ProtocolKind::kOue:
+    case ProtocolKind::kSue:
+      return num_targets;
+    case ProtocolKind::kOlh:
+    case ProtocolKind::kBlh:
+      return std::max<size_t>(1, (num_targets + 1) / 2);
+  }
+  return 1;
+}
+
+}  // namespace
+
+DetectionFilter::DetectionFilter(const FrequencyProtocol& protocol,
+                                 std::vector<ItemId> targets)
+    : protocol_(protocol),
+      targets_(std::move(targets)),
+      is_target_(protocol.domain_size(), 0),
+      kept_counts_(protocol.domain_size(), 0.0) {
+  LDPR_CHECK(!targets_.empty());
+  for (ItemId t : targets_) {
+    LDPR_CHECK(t < protocol_.domain_size());
+    is_target_[t] = 1;
+  }
+  threshold_ = SuspicionThreshold(protocol.kind(), targets_.size());
+}
+
+bool DetectionFilter::IsSuspicious(const Report& report) const {
+  size_t supported = 0;
+  for (ItemId t : targets_) {
+    if (protocol_.Supports(report, t)) {
+      ++supported;
+      if (supported >= threshold_) return true;
+    }
+  }
+  return false;
+}
+
+void DetectionFilter::Offer(const Report& report) {
+  ++offered_;
+  if (IsSuspicious(report)) return;
+  ++kept_;
+  protocol_.AccumulateSupports(report, kept_counts_);
+}
+
+void DetectionFilter::OfferAll(const std::vector<Report>& reports) {
+  for (const Report& r : reports) Offer(r);
+}
+
+void DetectionFilter::OfferSampledGrr(const std::vector<uint64_t>& item_counts,
+                                      Rng& rng) {
+  // A GRR report supports exactly the item it carries, so filtering
+  // simply drops reports landing on targets.  Sample the full report
+  // histogram exactly, then zero the target rows.
+  const std::vector<double> counts =
+      protocol_.SampleSupportCounts(item_counts, rng);
+  uint64_t total = 0;
+  for (uint64_t c : item_counts) total += c;
+  offered_ += total;
+  double kept_total = 0.0;
+  for (size_t v = 0; v < counts.size(); ++v) {
+    if (is_target_[v]) continue;
+    kept_counts_[v] += counts[v];
+    kept_total += counts[v];
+  }
+  kept_ += static_cast<size_t>(kept_total);
+}
+
+void DetectionFilter::OfferSampledOue(const std::vector<uint64_t>& item_counts,
+                                      Rng& rng) {
+  // OUE flags a report only when *all* r target bits are 1.  Bits are
+  // independent across items, so:
+  //   * a user is flagged with probability prod_t Pr[bit_t = 1]
+  //     (q^r for non-target holders, (1/2) q^(r-1) for holders of a
+  //     target item);
+  //   * non-target bits are independent of the flag event, so kept
+  //     users' non-target support counts keep the genuine law;
+  //   * target bits are conditioned on "not all ones":
+  //     Pr[bit_t = 1 | kept] = (Pr[bit_t = 1] - p_all) / (1 - p_all).
+  const auto& oue = static_cast<const UnaryEncoding&>(protocol_);
+  const double p = oue.p();
+  const double q = oue.q();
+  const size_t d = oue.domain_size();
+  const size_t r = targets_.size();
+  LDPR_CHECK(item_counts.size() == d);
+
+  const double flag_nontarget = std::pow(q, static_cast<double>(r));
+  const double flag_target =
+      p * std::pow(q, static_cast<double>(r - 1));
+
+  std::vector<uint64_t> kept_hist(d);
+  uint64_t kept_total = 0;
+  uint64_t offered_total = 0;
+  for (size_t v = 0; v < d; ++v) {
+    offered_total += item_counts[v];
+    const double keep = 1.0 - (is_target_[v] ? flag_target : flag_nontarget);
+    kept_hist[v] = rng.Binomial(item_counts[v], keep);
+    kept_total += kept_hist[v];
+  }
+  offered_ += offered_total;
+  kept_ += kept_total;
+
+  for (size_t v = 0; v < d; ++v) {
+    const uint64_t own = kept_hist[v];
+    const uint64_t rest = kept_total - own;
+    if (!is_target_[v]) {
+      // Unconditioned genuine law.
+      kept_counts_[v] +=
+          static_cast<double>(rng.Binomial(own, p) + rng.Binomial(rest, q));
+      continue;
+    }
+    // Target rows: condition each holder class on "kept".
+    const double own_bit =
+        (p - flag_target) / (1.0 - flag_target);
+    const double rest_bit =
+        (q - flag_nontarget) / (1.0 - flag_nontarget);
+    kept_counts_[v] += static_cast<double>(rng.Binomial(own, own_bit) +
+                                           rng.Binomial(rest, rest_bit));
+  }
+}
+
+void DetectionFilter::OfferStreaming(const std::vector<uint64_t>& item_counts,
+                                     Rng& rng) {
+  for (ItemId item = 0; item < item_counts.size(); ++item) {
+    for (uint64_t u = 0; u < item_counts[item]; ++u) {
+      Offer(protocol_.Perturb(item, rng));
+    }
+  }
+}
+
+void DetectionFilter::OfferSampledGenuine(
+    const std::vector<uint64_t>& item_counts, Rng& rng) {
+  LDPR_CHECK(item_counts.size() == protocol_.domain_size());
+  switch (protocol_.kind()) {
+    case ProtocolKind::kGrr:
+      OfferSampledGrr(item_counts, rng);
+      return;
+    case ProtocolKind::kOue:
+    case ProtocolKind::kSue:
+      OfferSampledOue(item_counts, rng);
+      return;
+    case ProtocolKind::kOlh:
+    case ProtocolKind::kBlh:
+      // Shared hash seeds correlate target and non-target support, so
+      // there is no clean product-form fast path; stream per user.
+      OfferStreaming(item_counts, rng);
+      return;
+  }
+}
+
+std::vector<double> DetectionFilter::Estimate() const {
+  LDPR_CHECK(kept_ > 0);
+  return protocol_.EstimateFrequencies(kept_counts_, kept_);
+}
+
+}  // namespace ldpr

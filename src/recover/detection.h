@@ -1,0 +1,78 @@
+// Detection: the malicious-user detection countermeasure of Cao et
+// al. (USENIX Security 2021), adapted as the paper's comparison
+// baseline (Section VI-A5).
+//
+// Knowing the target items, the server labels a report malicious if
+// it supports any target and discards it, then re-estimates
+// frequencies from the survivors.  The method's weakness — which the
+// paper's Figures 3-4 exhibit — is that genuine users whose perturbed
+// reports happen to support a target are discarded too, biasing the
+// surviving sample.
+//
+// DetectionFilter is a streaming classifier + aggregator so the
+// simulation pipeline can run Detection without materializing the
+// genuine report set.  For GRR and OUE closed-form fast paths sample
+// the post-filter aggregate directly (see the .cc for the exact
+// conditional laws); OLH always streams.
+
+#ifndef LDPR_RECOVER_DETECTION_H_
+#define LDPR_RECOVER_DETECTION_H_
+
+#include <vector>
+
+#include "ldp/protocol.h"
+#include "util/random.h"
+
+namespace ldpr {
+
+class DetectionFilter {
+ public:
+  /// The protocol reference must outlive the filter.  `targets` is
+  /// the item set the server believes the attacker promotes.
+  DetectionFilter(const FrequencyProtocol& protocol,
+                  std::vector<ItemId> targets);
+
+  /// True iff the report supports at least `threshold()` targets.
+  bool IsSuspicious(const Report& report) const;
+
+  /// The protocol-specific suspicion threshold (see .cc).
+  size_t threshold() const { return threshold_; }
+
+  /// Feeds one report; drops it when suspicious.
+  void Offer(const Report& report);
+
+  /// Feeds a batch.
+  void OfferAll(const std::vector<Report>& reports);
+
+  /// Fast path: feeds the reports of genuine users summarized by an
+  /// item-count histogram, sampling the post-filter aggregate from
+  /// the exact conditional distribution for GRR and OUE and falling
+  /// back to streaming per-user simulation for OLH.
+  void OfferSampledGenuine(const std::vector<uint64_t>& item_counts,
+                           Rng& rng);
+
+  /// Reports seen / kept so far.
+  size_t offered() const { return offered_; }
+  size_t kept() const { return kept_; }
+
+  /// Frequency estimate over the kept reports (normalized by the kept
+  /// count, as the baseline prescribes).  Requires kept() > 0.
+  std::vector<double> Estimate() const;
+
+ private:
+  void OfferSampledGrr(const std::vector<uint64_t>& item_counts, Rng& rng);
+  void OfferSampledOue(const std::vector<uint64_t>& item_counts, Rng& rng);
+  void OfferStreaming(const std::vector<uint64_t>& item_counts, Rng& rng);
+
+  const FrequencyProtocol& protocol_;
+  std::vector<ItemId> targets_;
+  size_t threshold_ = 1;
+  std::vector<uint8_t> is_target_;
+  std::vector<double> kept_counts_;
+  size_t offered_ = 0;
+  size_t kept_ = 0;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_RECOVER_DETECTION_H_

@@ -1,0 +1,112 @@
+#include "recover/estimator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+namespace {
+
+// Absolute third central moment of the per-report support indicator
+// estimate Phi_y(v) = (1_{S(y)}(v) - q)/(p - q) when the support
+// probability is s: the indicator is Bernoulli(s), so
+// E|X - s|^3 = s(1-s)(s^2 + (1-s)^2), scaled by 1/(p-q)^3.
+double BernoulliThirdAbsMoment(double s) {
+  const double t = 1.0 - s;
+  return s * t * (s * s + t * t);
+}
+
+}  // namespace
+
+Moments MaliciousFrequencyMoments(const FrequencyProtocol& protocol,
+                                  double support_prob, size_t m) {
+  LDPR_CHECK(m > 0);
+  LDPR_CHECK(support_prob >= 0.0 && support_prob <= 1.0);
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double diff = p - q;
+  Moments out;
+  out.mean = (support_prob - q) / diff;
+  out.variance =
+      support_prob * (1.0 - support_prob) /
+      (diff * diff * static_cast<double>(m));
+  return out;
+}
+
+Moments GenuineFrequencyMoments(const FrequencyProtocol& protocol,
+                                double true_freq, size_t n) {
+  LDPR_CHECK(n > 0);
+  LDPR_CHECK(true_freq >= 0.0 && true_freq <= 1.0);
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double diff = p - q;
+  const double nd = static_cast<double>(n);
+  Moments out;
+  out.mean = true_freq;
+  out.variance = q * (1.0 - q) / (nd * diff * diff) +
+                 true_freq * (1.0 - p - q) / (nd * diff);
+  return out;
+}
+
+Moments PoisonedFrequencyMoments(const Moments& genuine,
+                                 const Moments& malicious, double eta) {
+  LDPR_CHECK(eta >= 0.0);
+  const double w = 1.0 + eta;
+  Moments out;
+  out.mean = genuine.mean / w + eta * malicious.mean / w;
+  out.variance =
+      genuine.variance / (w * w) + eta * eta * malicious.variance / (w * w);
+  return out;
+}
+
+std::vector<double> RecoverGenuineFrequencies(
+    const std::vector<double>& poisoned, const std::vector<double>& malicious,
+    double eta) {
+  LDPR_CHECK(poisoned.size() == malicious.size());
+  LDPR_CHECK(eta >= 0.0);
+  std::vector<double> out(poisoned.size());
+  for (size_t v = 0; v < poisoned.size(); ++v)
+    out[v] = (1.0 + eta) * poisoned[v] - eta * malicious[v];
+  return out;
+}
+
+double BerryEsseenBound(double g3, double sigma, size_t count) {
+  LDPR_CHECK(sigma > 0.0);
+  LDPR_CHECK(count > 0);
+  const double s3 = sigma * sigma * sigma;
+  return 0.33554 * (g3 + 0.415 * s3) /
+         (s3 * std::sqrt(static_cast<double>(count)));
+}
+
+double MaliciousApproximationErrorBound(const FrequencyProtocol& protocol,
+                                        double support_prob, size_t m) {
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double diff = p - q;
+  // Per-report standard deviation and third absolute moment of
+  // Phi_y(v); the common 1/(p-q)^3 scale cancels in the ratio, so we
+  // work with the raw Bernoulli moments.
+  const double var = support_prob * (1.0 - support_prob);
+  if (var <= 0.0) return 0.0;  // degenerate: the CLT is exact (constant)
+  const double sigma = std::sqrt(var) / diff;
+  const double g3 = BernoulliThirdAbsMoment(support_prob) / (diff * diff * diff);
+  return BerryEsseenBound(g3, sigma, m);
+}
+
+double GenuineApproximationErrorBound(const FrequencyProtocol& protocol,
+                                      double true_freq, size_t n) {
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double diff = p - q;
+  // A genuine report for an item with frequency f supports that item
+  // with marginal probability s = f*p + (1-f)*q.
+  const double s = true_freq * p + (1.0 - true_freq) * q;
+  const double var = s * (1.0 - s);
+  if (var <= 0.0) return 0.0;
+  const double sigma = std::sqrt(var) / diff;
+  const double g3 = BernoulliThirdAbsMoment(s) / (diff * diff * diff);
+  return BerryEsseenBound(g3, sigma, n);
+}
+
+}  // namespace ldpr

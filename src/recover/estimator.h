@@ -1,0 +1,81 @@
+// The genuine frequency estimator and its analysis (Section V-B and
+// V-E of the paper).
+//
+// The analytical framework models the poisoned frequency f~_Z(v) as a
+// mixture of the genuine f~_X(v) and malicious f~_Y(v) frequencies
+// (Eq. (14)) and derives their asymptotic normal laws:
+//
+//   Lemma 1:  f~_Y(v)  ~  N(mu_y, sigma_y^2),
+//             mu_y = (s_v - q)/(p - q),
+//             sigma_y^2 = s_v (1 - s_v) / ((p - q)^2 m),
+//             where s_v is the probability a crafted report supports v.
+//   Lemma 2:  f~_X(v)  ~  N(f_X(v), sigma_x^2),
+//             sigma_x^2 = q(1-q)/(n (p-q)^2) + f_X(v)(1-p-q)/(n (p-q)).
+//   Thm 1:    f~_Z(v)  ~  N(mu_z, sigma_z^2) with the eta-weighted
+//             mixture of the two.
+//
+// From these the paper obtains the genuine frequency estimator
+// (Eq. (19)):   f~_X(v) = (1 + eta) f~_Z(v) - eta f~_Y(v),
+// which is approximately unbiased (Thm 2) with variance sigma_x^2
+// (Thm 3).  Theorems 4-5 bound the CLT approximation error via
+// Berry-Esseen.
+
+#ifndef LDPR_RECOVER_ESTIMATOR_H_
+#define LDPR_RECOVER_ESTIMATOR_H_
+
+#include <vector>
+
+#include "ldp/protocol.h"
+
+namespace ldpr {
+
+/// Mean and variance of an asymptotically normal estimate.
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Lemma 1: asymptotic moments of the malicious frequency f~_Y(v) for
+/// an item that each crafted report supports with probability
+/// `support_prob`, aggregated over m malicious users.
+Moments MaliciousFrequencyMoments(const FrequencyProtocol& protocol,
+                                  double support_prob, size_t m);
+
+/// Lemma 2: asymptotic moments of the genuine frequency f~_X(v) for
+/// an item with true frequency `true_freq`, aggregated over n users.
+Moments GenuineFrequencyMoments(const FrequencyProtocol& protocol,
+                                double true_freq, size_t n);
+
+/// Theorem 1: moments of the poisoned frequency f~_Z(v) as the
+/// eta-weighted mixture of genuine and malicious moments
+/// (eta = m/n).
+Moments PoisonedFrequencyMoments(const Moments& genuine,
+                                 const Moments& malicious, double eta);
+
+/// Eq. (19): pointwise genuine-frequency estimator
+/// (1 + eta) * poisoned - eta * malicious.  Sizes must match.
+std::vector<double> RecoverGenuineFrequencies(
+    const std::vector<double>& poisoned, const std::vector<double>& malicious,
+    double eta);
+
+/// Berry-Esseen bound used by Theorems 4 and 5: the CDF of the
+/// normalized sum of `count` i.i.d. terms with absolute third central
+/// moment `g3` and per-sample standard deviation `sigma` differs from
+/// the normal CDF by at most 0.33554 (g3 + 0.415 sigma^3) /
+/// (sigma^3 sqrt(count)).
+double BerryEsseenBound(double g3, double sigma, size_t count);
+
+/// Theorem 4 specialization: approximation error bound for f~_Y(v)
+/// when each crafted report supports v with probability
+/// `support_prob`, over m malicious users.
+double MaliciousApproximationErrorBound(const FrequencyProtocol& protocol,
+                                        double support_prob, size_t m);
+
+/// Theorem 5 specialization: approximation error bound for f~_X(v)
+/// for an item with true frequency `true_freq`, over n genuine users.
+double GenuineApproximationErrorBound(const FrequencyProtocol& protocol,
+                                      double true_freq, size_t n);
+
+}  // namespace ldpr
+
+#endif  // LDPR_RECOVER_ESTIMATOR_H_

@@ -1,0 +1,38 @@
+#include "recover/malicious_stats.h"
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+double ExpectedMaliciousFrequencySum(const FrequencyProtocol& protocol) {
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double d = static_cast<double>(protocol.domain_size());
+  return (1.0 - q * d) / (p - q);
+}
+
+double CraftedMaliciousFrequencySum(const FrequencyProtocol& protocol) {
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double d = static_cast<double>(protocol.domain_size());
+  return (protocol.CraftedSupportBudget() - q * d) / (p - q);
+}
+
+double ZeroMassSubdomainSum(const FrequencyProtocol& protocol,
+                            size_t subdomain_size, bool paper_literal) {
+  LDPR_CHECK(subdomain_size <= protocol.domain_size());
+  const double p = protocol.p();
+  const double q = protocol.q();
+  const double scale = paper_literal
+                           ? static_cast<double>(protocol.domain_size())
+                           : static_cast<double>(subdomain_size);
+  return -q * scale / (p - q);
+}
+
+double TargetSubdomainSum(const FrequencyProtocol& protocol,
+                          size_t non_target_count, bool paper_literal) {
+  return ExpectedMaliciousFrequencySum(protocol) -
+         ZeroMassSubdomainSum(protocol, non_target_count, paper_literal);
+}
+
+}  // namespace ldpr

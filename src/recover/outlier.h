@@ -1,0 +1,52 @@
+// Historical-frequency outlier detection (Section V-D of the paper).
+//
+// Targeted attacks inflate their targets enough to make them
+// statistical outliers against the item's own history.  The paper
+// points to time-series outlier detectors as the source of
+// LDPRecover*'s partial knowledge; this module provides a robust
+// z-score detector over per-item frequency histories, which suffices
+// to recover the target set in the MGA regimes the paper evaluates
+// (see tests/outlier_test.cc and examples/emoji_survey.cc).
+
+#ifndef LDPR_RECOVER_OUTLIER_H_
+#define LDPR_RECOVER_OUTLIER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ldp/report.h"
+
+namespace ldpr {
+
+struct OutlierDetectorOptions {
+  /// Flag items whose current frequency exceeds the historical mean
+  /// by more than `z_threshold` historical standard deviations.
+  double z_threshold = 3.0;
+  /// Minimum epochs of history required before detection runs.
+  size_t min_history = 3;
+  /// Standard-deviation floor guarding against near-constant
+  /// histories (pure LDP noise keeps stddev positive in practice, but
+  /// short histories can collapse).
+  double stddev_floor = 1e-6;
+};
+
+/// Returns the items of `current` that are upward outliers against
+/// `history` (each history entry is one past epoch's frequency
+/// vector, all the same length as `current`).  Only upward deviations
+/// are flagged: targeted poisoning inflates frequencies.
+std::vector<ItemId> DetectFrequencyOutliers(
+    const std::vector<std::vector<double>>& history,
+    const std::vector<double>& current,
+    const OutlierDetectorOptions& options = {});
+
+/// Convenience used for AA (whose random attacker distribution has no
+/// crisp target set): the `k` items with the largest frequency
+/// increase from `baseline` to `current` — the paper's "items that
+/// exhibit the top-r/2 frequency increase following the attack".
+std::vector<ItemId> TopFrequencyGainers(const std::vector<double>& baseline,
+                                        const std::vector<double>& current,
+                                        size_t k);
+
+}  // namespace ldpr
+
+#endif  // LDPR_RECOVER_OUTLIER_H_

@@ -1,0 +1,70 @@
+#include "recover/simplex_projection.h"
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+namespace {
+
+// Runs the iterative KKT refinement.  When `iterations` is non-null it
+// receives the number of passes performed.
+std::vector<double> Project(const std::vector<double>& estimate,
+                            size_t* iterations) {
+  LDPR_CHECK(!estimate.empty());
+  const size_t d = estimate.size();
+
+  // active[v] == 1 iff v is still in D* (Algorithm 1 lines 6-11).
+  std::vector<uint8_t> active(d, 1);
+  size_t active_count = d;
+  std::vector<double> out(d, 0.0);
+  size_t iters = 0;
+
+  while (true) {
+    ++iters;
+    LDPR_CHECK(active_count > 0);
+    // mu/2 = (sum_{D*} f~ - 1) / |D*|   (Eq. (34) folded into (35)).
+    double active_sum = 0.0;
+    for (size_t v = 0; v < d; ++v) {
+      if (active[v]) active_sum += estimate[v];
+    }
+    const double shift =
+        (active_sum - 1.0) / static_cast<double>(active_count);
+
+    bool any_negative = false;
+    for (size_t v = 0; v < d; ++v) {
+      if (!active[v]) {
+        out[v] = 0.0;
+        continue;
+      }
+      const double value = estimate[v] - shift;  // Eq. (35)
+      if (value < 0.0) {
+        active[v] = 0;  // move v from D* to its complement
+        --active_count;
+        out[v] = 0.0;
+        any_negative = true;
+      } else {
+        out[v] = value;
+      }
+    }
+    if (!any_negative) break;
+  }
+
+  if (iterations != nullptr) *iterations = iters;
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> ProjectToSimplexKkt(const std::vector<double>& estimate) {
+  return Project(estimate, nullptr);
+}
+
+size_t SimplexProjectionIterations(const std::vector<double>& estimate) {
+  size_t iters = 0;
+  Project(estimate, &iters);
+  return iters;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,35 @@
+// KKT-based refinement of estimated frequencies onto the probability
+// simplex (Step 3 of LDPRecover, Eqs. (32)-(35) and lines 5-11 of
+// Algorithm 1).
+//
+// Given the estimated genuine frequencies f~_X, the refinement solves
+//
+//     minimize   sum_v (f'(v) - f~_X(v))^2
+//     subject to f'(v) >= 0,  sum_v f'(v) = 1
+//
+// whose KKT conditions yield: over the active set D* the solution is
+// a uniform additive shift f'(v) = f~(v) - (sum_{D*} f~ - 1)/|D*|,
+// and items driven negative are clamped to zero and removed from D*
+// iteratively until all remaining values are non-negative.  This is
+// the same "norm-sub" consistency step of Wang et al. (NDSS 2020).
+
+#ifndef LDPR_RECOVER_SIMPLEX_PROJECTION_H_
+#define LDPR_RECOVER_SIMPLEX_PROJECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ldpr {
+
+/// Projects `estimate` onto the probability simplex using the
+/// iterative KKT procedure of Algorithm 1.  The result is
+/// non-negative and sums to 1 (exactly, up to float rounding).
+std::vector<double> ProjectToSimplexKkt(const std::vector<double>& estimate);
+
+/// Number of refinement iterations the last call would take — exposed
+/// for tests and complexity analysis; pure function of the input.
+size_t SimplexProjectionIterations(const std::vector<double>& estimate);
+
+}  // namespace ldpr
+
+#endif  // LDPR_RECOVER_SIMPLEX_PROJECTION_H_

@@ -1,0 +1,116 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+
+#include "ldp/factory.h"
+#include "recover/detection.h"
+#include "recover/ldprecover.h"
+#include "recover/outlier.h"
+#include "util/logging.h"
+
+namespace ldpr {
+
+namespace {
+
+// The attacker-selected items LDPRecover* and Detection are given:
+// the true target set for targeted attacks, the top-r/2 frequency
+// gainers otherwise (Section VI-A4).
+std::vector<ItemId> StarTargets(const ExperimentConfig& config,
+                                const TrialOutput& trial) {
+  if (!trial.attack_targets.empty()) return trial.attack_targets;
+  const size_t k = std::max<size_t>(1, config.pipeline.num_targets / 2);
+  return TopFrequencyGainers(trial.genuine_freqs, trial.poisoned_freqs, k);
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const Dataset& dataset) {
+  LDPR_CHECK(config.trials >= 1);
+  const std::unique_ptr<FrequencyProtocol> protocol =
+      MakeProtocol(config.protocol, dataset.domain_size(), config.epsilon);
+
+  ExperimentResult result;
+  Rng rng(config.seed);
+
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    const TrialOutput t =
+        RunPoisoningTrial(*protocol, config.pipeline, dataset, rng);
+    const bool attacked = t.m > 0;
+    const bool targeted = !t.attack_targets.empty();
+
+    result.mse_before.Add(Mse(t.true_freqs, t.poisoned_freqs));
+    if (targeted) {
+      result.fg_before.Add(FrequencyGain(t.genuine_freqs, t.poisoned_freqs,
+                                         t.attack_targets));
+    }
+
+    // LDPRecover (non-knowledge).
+    RecoverOptions base_opts;
+    base_opts.eta = config.eta;
+    base_opts.paper_literal_subdomain_sum = config.paper_literal_subdomain_sum;
+    const LdpRecover recover(*protocol, base_opts);
+    const std::vector<double> recovered = recover.Recover(t.poisoned_freqs);
+    result.mse_recover.Add(Mse(t.true_freqs, recovered));
+    if (targeted) {
+      result.fg_recover.Add(
+          FrequencyGain(t.genuine_freqs, recovered, t.attack_targets));
+    }
+    if (attacked) {
+      result.mse_malicious_recover.Add(
+          Mse(t.malicious_freqs,
+              recover.EstimateMaliciousFrequencies(t.poisoned_freqs)));
+    }
+
+    // LDPRecover* (partial knowledge) and Detection share the
+    // attacker-selected item set.
+    if (attacked && (config.run_star || config.run_detection)) {
+      const std::vector<ItemId> star_targets = StarTargets(config, t);
+
+      if (config.run_star && !star_targets.empty() &&
+          star_targets.size() < dataset.domain_size()) {
+        RecoverOptions star_opts = base_opts;
+        star_opts.known_targets = star_targets;
+        const LdpRecover star(*protocol, star_opts);
+        const std::vector<double> recovered_star =
+            star.Recover(t.poisoned_freqs);
+        result.mse_recover_star.Add(Mse(t.true_freqs, recovered_star));
+        if (targeted) {
+          result.fg_recover_star.Add(FrequencyGain(
+              t.genuine_freqs, recovered_star, t.attack_targets));
+        }
+        result.mse_malicious_recover_star.Add(
+            Mse(t.malicious_freqs,
+                star.EstimateMaliciousFrequencies(t.poisoned_freqs)));
+      }
+
+      if (config.run_detection && !star_targets.empty()) {
+        DetectionFilter filter(*protocol, star_targets);
+        // Genuine reports are re-drawn for the filtered aggregate;
+        // detection metrics are averaged across trials, so using an
+        // independent realization of the genuine randomness is
+        // statistically equivalent (see DESIGN.md).
+        if (config.pipeline.exact_genuine) {
+          for (ItemId item = 0; item < dataset.item_counts.size(); ++item) {
+            for (uint64_t u = 0; u < dataset.item_counts[item]; ++u)
+              filter.Offer(protocol->Perturb(item, rng));
+          }
+        } else {
+          filter.OfferSampledGenuine(dataset.item_counts, rng);
+        }
+        filter.OfferAll(t.malicious_reports);
+        if (filter.kept() > 0) {
+          const std::vector<double> detected = filter.Estimate();
+          result.mse_detection.Add(Mse(t.true_freqs, detected));
+          if (targeted) {
+            result.fg_detection.Add(
+                FrequencyGain(t.genuine_freqs, detected, t.attack_targets));
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ldpr

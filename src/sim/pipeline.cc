@@ -1,0 +1,118 @@
+#include "sim/pipeline.h"
+
+#include <cmath>
+
+#include "attack/adaptive.h"
+#include "attack/ipa.h"
+#include "attack/manip.h"
+#include "attack/mga.h"
+#include "attack/multi_attacker.h"
+#include "util/logging.h"
+
+namespace ldpr {
+
+const char* AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kManip:
+      return "Manip";
+    case AttackKind::kMga:
+      return "MGA";
+    case AttackKind::kAdaptive:
+      return "AA";
+    case AttackKind::kMgaIpa:
+      return "MGA-IPA";
+    case AttackKind::kMultiAdaptive:
+      return "MUL-AA";
+  }
+  return "unknown";
+}
+
+size_t MaliciousUserCount(double beta, uint64_t n) {
+  LDPR_CHECK(beta >= 0.0 && beta < 1.0);
+  return static_cast<size_t>(
+      std::llround(beta * static_cast<double>(n) / (1.0 - beta)));
+}
+
+std::unique_ptr<Attack> MakeAttack(const PipelineConfig& config, size_t d,
+                                   Rng& rng) {
+  switch (config.attack) {
+    case AttackKind::kNone:
+      return nullptr;
+    case AttackKind::kManip: {
+      ManipOptions opts;
+      opts.domain_fraction = config.manip_domain_fraction;
+      return std::make_unique<ManipAttack>(opts);
+    }
+    case AttackKind::kMga:
+      return std::make_unique<MgaAttack>(
+          MgaAttack::SampleTargets(d, config.num_targets, rng));
+    case AttackKind::kAdaptive:
+      return std::make_unique<AdaptiveAttack>();
+    case AttackKind::kMgaIpa:
+      return MakeMgaIpa(d,
+                        MgaAttack::SampleTargets(d, config.num_targets, rng));
+    case AttackKind::kMultiAdaptive:
+      return MakeMultiAdaptive(config.num_attackers);
+  }
+  return nullptr;
+}
+
+std::vector<double> ExactGenuineSupportCounts(
+    const FrequencyProtocol& protocol,
+    const std::vector<uint64_t>& item_counts, Rng& rng) {
+  LDPR_CHECK(item_counts.size() == protocol.domain_size());
+  std::vector<double> counts(protocol.domain_size(), 0.0);
+  for (ItemId item = 0; item < item_counts.size(); ++item) {
+    for (uint64_t u = 0; u < item_counts[item]; ++u) {
+      const Report r = protocol.Perturb(item, rng);
+      protocol.AccumulateSupports(r, counts);
+    }
+  }
+  return counts;
+}
+
+TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
+                              const PipelineConfig& config,
+                              const Dataset& dataset, Rng& rng) {
+  const size_t d = protocol.domain_size();
+  LDPR_CHECK(dataset.domain_size() == d);
+
+  TrialOutput out;
+  out.n = dataset.num_users();
+  out.m = (config.attack == AttackKind::kNone)
+              ? 0
+              : MaliciousUserCount(config.beta, out.n);
+  out.true_freqs = dataset.TrueFrequencies();
+
+  // Genuine side: aggregate support counts, closed-form or per-user.
+  const std::vector<double> genuine_counts =
+      config.exact_genuine
+          ? ExactGenuineSupportCounts(protocol, dataset.item_counts, rng)
+          : protocol.SampleSupportCounts(dataset.item_counts, rng);
+  out.genuine_freqs = protocol.EstimateFrequencies(genuine_counts, out.n);
+
+  // Attacker side.
+  std::vector<double> malicious_counts(d, 0.0);
+  if (out.m > 0) {
+    const std::unique_ptr<Attack> attack = MakeAttack(config, d, rng);
+    LDPR_CHECK(attack != nullptr);
+    out.attack_targets = attack->targets();
+    out.malicious_reports = attack->Craft(protocol, out.m, rng);
+    LDPR_CHECK(out.malicious_reports.size() == out.m);
+    for (const Report& r : out.malicious_reports)
+      protocol.AccumulateSupports(r, malicious_counts);
+    out.malicious_freqs =
+        protocol.EstimateFrequencies(malicious_counts, out.m);
+  }
+
+  // Server side: the poisoned estimate over all n + m reports.
+  std::vector<double> combined(d);
+  for (size_t v = 0; v < d; ++v)
+    combined[v] = genuine_counts[v] + malicious_counts[v];
+  out.poisoned_freqs = protocol.EstimateFrequencies(combined, out.n + out.m);
+  return out;
+}
+
+}  // namespace ldpr

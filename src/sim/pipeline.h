@@ -1,0 +1,90 @@
+// End-to-end poisoning simulation pipeline (the framework of Figure 2
+// in the paper): genuine users perturb their items with the LDP
+// protocol, the attacker crafts malicious reports, and the server
+// aggregates genuine, malicious, and combined (poisoned) frequency
+// estimates.  One call = one trial.
+
+#ifndef LDPR_SIM_PIPELINE_H_
+#define LDPR_SIM_PIPELINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "ldp/protocol.h"
+#include "util/random.h"
+
+namespace ldpr {
+
+/// Attacks the pipeline knows how to instantiate per trial.
+enum class AttackKind {
+  kNone,           // beta = 0 control (Table I)
+  kManip,          // untargeted manipulation attack
+  kMga,            // maximal gain attack (targets resampled per trial)
+  kAdaptive,       // the paper's adaptive attack (random P per trial)
+  kMgaIpa,         // MGA under input poisoning (Figure 8/9)
+  kMultiAdaptive,  // several adaptive attackers (Figure 10)
+};
+
+const char* AttackKindName(AttackKind kind);
+
+struct PipelineConfig {
+  AttackKind attack = AttackKind::kAdaptive;
+  /// Fraction of malicious users beta = m / (n + m).
+  double beta = 0.05;
+  /// Number of target items r (MGA variants).
+  size_t num_targets = 10;
+  /// Manip's |H| / |D|.
+  double manip_domain_fraction = 0.5;
+  /// Number of attackers (kMultiAdaptive).
+  size_t num_attackers = 5;
+  /// Simulate every genuine user individually instead of sampling the
+  /// aggregate from its closed-form law (slow; used by equivalence
+  /// tests).
+  bool exact_genuine = false;
+};
+
+/// Everything one trial produces.  All frequency vectors have length
+/// d.
+struct TrialOutput {
+  /// Exact item frequencies f_X of the genuine data.
+  std::vector<double> true_freqs;
+  /// LDP estimate from genuine users only, f~_X.
+  std::vector<double> genuine_freqs;
+  /// LDP estimate from the combined report set, f~_Z.
+  std::vector<double> poisoned_freqs;
+  /// LDP estimate from malicious reports only, f~_Y (empty if m = 0).
+  std::vector<double> malicious_freqs;
+  /// The attack's declared targets (empty for untargeted/none).
+  std::vector<ItemId> attack_targets;
+  /// The crafted malicious reports (for Detection / k-means).
+  std::vector<Report> malicious_reports;
+  size_t n = 0;  ///< genuine users
+  size_t m = 0;  ///< malicious users
+};
+
+/// Number of malicious users implied by beta and n:
+/// m = beta * n / (1 - beta), rounded.
+size_t MaliciousUserCount(double beta, uint64_t n);
+
+/// Instantiates the configured attack (fresh per trial so that MGA
+/// resamples targets and AA resamples its distribution).
+std::unique_ptr<Attack> MakeAttack(const PipelineConfig& config, size_t d,
+                                   Rng& rng);
+
+/// Runs one poisoning trial of `config` for `protocol` on `dataset`.
+TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
+                              const PipelineConfig& config,
+                              const Dataset& dataset, Rng& rng);
+
+/// Per-user exact genuine aggregation (the reference path the fast
+/// samplers are validated against).
+std::vector<double> ExactGenuineSupportCounts(
+    const FrequencyProtocol& protocol, const std::vector<uint64_t>& item_counts,
+    Rng& rng);
+
+}  // namespace ldpr
+
+#endif  // LDPR_SIM_PIPELINE_H_

@@ -1,0 +1,68 @@
+#include "tasks/heavy_hitters.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+namespace {
+
+// Item ids of the top-k entries (frequency desc, id asc on ties).
+std::vector<ItemId> TopKIds(const std::vector<double>& frequencies,
+                            size_t k) {
+  std::vector<ItemId> order(frequencies.size());
+  std::iota(order.begin(), order.end(), 0u);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](ItemId a, ItemId b) {
+                      if (frequencies[a] != frequencies[b])
+                        return frequencies[a] > frequencies[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace
+
+std::vector<HeavyHitter> IdentifyHeavyHitters(
+    const std::vector<double>& frequencies,
+    const HeavyHitterOptions& options) {
+  LDPR_CHECK(!frequencies.empty());
+  LDPR_CHECK(options.k >= 1);
+  std::vector<HeavyHitter> hitters;
+  for (ItemId id : TopKIds(frequencies, options.k)) {
+    if (frequencies[id] <= options.min_frequency) break;  // sorted: done
+    hitters.push_back(HeavyHitter{id, frequencies[id]});
+  }
+  return hitters;
+}
+
+double TopKDisplacement(const std::vector<double>& true_frequencies,
+                        const std::vector<double>& estimated_frequencies,
+                        size_t k) {
+  LDPR_CHECK(true_frequencies.size() == estimated_frequencies.size());
+  LDPR_CHECK(k >= 1);
+  const std::vector<ItemId> truth = TopKIds(true_frequencies, k);
+  const std::vector<ItemId> estimate = TopKIds(estimated_frequencies, k);
+  size_t missing = 0;
+  for (ItemId t : truth) {
+    if (std::find(estimate.begin(), estimate.end(), t) == estimate.end())
+      ++missing;
+  }
+  return static_cast<double>(missing) / static_cast<double>(truth.size());
+}
+
+size_t CountInTopK(const std::vector<double>& frequencies,
+                   const std::vector<ItemId>& items, size_t k) {
+  const std::vector<ItemId> top = TopKIds(frequencies, k);
+  size_t count = 0;
+  for (ItemId item : items) {
+    if (std::find(top.begin(), top.end(), item) != top.end()) ++count;
+  }
+  return count;
+}
+
+}  // namespace ldpr

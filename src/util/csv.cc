@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ldpr {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF files.
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open CSV file: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(SplitCsvLine(line));
+  }
+  return rows;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(',', file_);
+    const std::string quoted = QuoteField(fields[i]);
+    std::fwrite(quoted.data(), 1, quoted.size(), file_);
+  }
+  std::fputc('\n', file_);
+}
+
+void CsvWriter::WriteNumericRow(const std::string& label,
+                                const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) {
+    std::ostringstream ss;
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  WriteRow(fields);
+}
+
+}  // namespace ldpr

@@ -1,0 +1,49 @@
+// Tiny CSV reader/writer used by dataset loading and by the benchmark
+// harness to dump per-figure series for external plotting.
+
+#ifndef LDPR_UTIL_CSV_H_
+#define LDPR_UTIL_CSV_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ldpr {
+
+/// Parses one CSV line into fields.  Supports double-quoted fields with
+/// embedded commas and doubled quotes; does not support embedded
+/// newlines (the datasets this library reads have none).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Reads the whole file into rows of fields.  Empty lines are skipped.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates).  Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Writes a row, quoting fields that contain commas or quotes.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes label followed by numeric values.
+  void WriteNumericRow(const std::string& label,
+                       const std::vector<double>& values);
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_UTIL_CSV_H_

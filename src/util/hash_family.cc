@@ -1,0 +1,4 @@
+#include "util/hash_family.h"
+
+// Header-only; this file exists so the target has a translation unit
+// and to hold future non-inline members.

@@ -1,0 +1,40 @@
+// Seeded hash family for OLH.
+//
+// OLH requires each user to pick a hash function H uniformly from a
+// family such that H(v) is uniform over {0, ..., g-1} for each item
+// and (approximately) independent across items.  We realize the
+// family as { v -> XXH64(v, seed) mod g : seed in uint64 }, matching
+// the construction in Wang et al.'s reference implementation.
+
+#ifndef LDPR_UTIL_HASH_FAMILY_H_
+#define LDPR_UTIL_HASH_FAMILY_H_
+
+#include <cstdint>
+
+#include "util/xxhash.h"
+
+namespace ldpr {
+
+/// One member of the OLH hash family, identified by its seed.
+class SeededHash {
+ public:
+  /// Creates the family member with the given seed mapping into
+  /// {0, ..., g-1}.  Requires g >= 2.
+  SeededHash(uint64_t seed, uint32_t g) : seed_(seed), g_(g) {}
+
+  /// H_seed(item) in {0, ..., g-1}.
+  uint32_t operator()(uint64_t item) const {
+    return static_cast<uint32_t>(XxHash64(item, seed_) % g_);
+  }
+
+  uint64_t seed() const { return seed_; }
+  uint32_t range() const { return g_; }
+
+ private:
+  uint64_t seed_;
+  uint32_t g_;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_UTIL_HASH_FAMILY_H_

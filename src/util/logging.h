@@ -1,0 +1,47 @@
+// Lightweight CHECK macros for internal invariants.
+//
+// These guard programmer contracts (never user input — user input goes
+// through Status).  On violation they print the failing condition with
+// file/line context and abort.
+
+#ifndef LDPR_UTIL_LOGGING_H_
+#define LDPR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldpr {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "LDPR_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ldpr
+
+/// Aborts if `condition` is false.  Always enabled (not only in debug
+/// builds): invariant violations in statistical code silently corrupt
+/// results otherwise.
+#define LDPR_CHECK(condition)                                      \
+  do {                                                             \
+    if (!(condition)) {                                            \
+      ::ldpr::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                              \
+  } while (0)
+
+#define LDPR_CHECK_OK(status_expr)                                    \
+  do {                                                                \
+    const auto& ldpr_check_status_ = (status_expr);                   \
+    if (!ldpr_check_status_.ok()) {                                   \
+      std::fprintf(stderr, "LDPR_CHECK_OK failed at %s:%d: %s\n",     \
+                   __FILE__, __LINE__,                                \
+                   ldpr_check_status_.ToString().c_str());            \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#endif  // LDPR_UTIL_LOGGING_H_

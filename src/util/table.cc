@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+std::string FormatScientific(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", value);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values) {
+  LDPR_CHECK(values.size() == columns_.size());
+  rows_.push_back(Row{false, label, values});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, "", {}}); }
+
+std::string TablePrinter::ToString() const {
+  size_t label_width = 8;
+  for (const Row& row : rows_)
+    label_width = std::max(label_width, row.label.size());
+  size_t col_width = 11;
+  for (const std::string& c : columns_)
+    col_width = std::max(col_width, c.size());
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  // Header.
+  out << std::string(label_width, ' ');
+  for (const std::string& c : columns_) {
+    out << "  ";
+    out << std::string(col_width - c.size(), ' ') << c;
+  }
+  out << "\n";
+  const size_t total_width = label_width + columns_.size() * (col_width + 2);
+  out << std::string(total_width, '-') << "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out << std::string(total_width, '-') << "\n";
+      continue;
+    }
+    out << row.label << std::string(label_width - row.label.size(), ' ');
+    for (double v : row.values) {
+      const std::string s = FormatScientific(v);
+      out << "  " << std::string(col_width - s.size(), ' ') << s;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace ldpr

@@ -1,0 +1,29 @@
+// Self-contained xxHash64 implementation.
+//
+// The OLH protocol requires a family of hash functions whose outputs
+// are uniform over {0, ..., g-1} and pairwise independent-looking
+// across seeds.  The original paper (and Wang et al.'s reference
+// implementation) use xxhash; we reimplement xxHash64 from the public
+// specification so that the library has no external dependencies.
+// The implementation is validated against the reference test vectors
+// in tests/xxhash_test.cc.
+
+#ifndef LDPR_UTIL_XXHASH_H_
+#define LDPR_UTIL_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldpr {
+
+/// Computes the 64-bit xxHash of `len` bytes starting at `data`,
+/// using `seed`.  Bit-compatible with the canonical XXH64.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+/// Convenience overload hashing a 64-bit integer key (little-endian
+/// byte order, matching XXH64 of the 8 raw bytes).
+uint64_t XxHash64(uint64_t key, uint64_t seed);
+
+}  // namespace ldpr
+
+#endif  // LDPR_UTIL_XXHASH_H_

@@ -1,0 +1,112 @@
+// Direct tests of the streaming Aggregator and the shared
+// count-adjustment math in FrequencyProtocol (covered only indirectly
+// by the pipeline tests elsewhere).
+
+#include <gtest/gtest.h>
+
+#include "ldp/factory.h"
+#include "ldp/grr.h"
+#include "ldp/oue.h"
+#include "util/math_util.h"
+
+namespace ldpr {
+namespace {
+
+TEST(AdjustCountsTest, InvertsTheExpectedSupportCounts) {
+  // If C(v) = n*(f p + (1-f) q) exactly, AdjustCounts returns n*f.
+  const Grr grr(4, 1.0);
+  const size_t n = 1000;
+  const std::vector<double> f = {0.5, 0.3, 0.2, 0.0};
+  std::vector<double> counts(4);
+  for (size_t v = 0; v < 4; ++v)
+    counts[v] = n * (f[v] * grr.p() + (1.0 - f[v]) * grr.q());
+  const auto adjusted = grr.AdjustCounts(counts, n);
+  for (size_t v = 0; v < 4; ++v)
+    EXPECT_NEAR(adjusted[v], n * f[v], 1e-9) << v;
+}
+
+TEST(AdjustCountsTest, EstimateFrequenciesDividesByN) {
+  const Oue oue(3, 0.5);
+  const std::vector<double> counts = {100.0, 80.0, 60.0};
+  const auto adjusted = oue.AdjustCounts(counts, 200);
+  const auto freqs = oue.EstimateFrequencies(counts, 200);
+  for (size_t v = 0; v < 3; ++v)
+    EXPECT_NEAR(freqs[v], adjusted[v] / 200.0, 1e-12);
+}
+
+TEST(AggregatorTest, CountsReportsAndSupports) {
+  const Grr grr(5, 1.0);
+  Aggregator agg(grr);
+  EXPECT_EQ(agg.report_count(), 0u);
+  Report r;
+  r.value = 2;
+  agg.Add(r);
+  agg.Add(r);
+  r.value = 4;
+  agg.Add(r);
+  EXPECT_EQ(agg.report_count(), 3u);
+  EXPECT_DOUBLE_EQ(agg.support_counts()[2], 2.0);
+  EXPECT_DOUBLE_EQ(agg.support_counts()[4], 1.0);
+  EXPECT_DOUBLE_EQ(agg.support_counts()[0], 0.0);
+}
+
+TEST(AggregatorTest, AddAllMatchesSequentialAdds) {
+  const Grr grr(5, 1.0);
+  Rng rng(1);
+  std::vector<Report> reports;
+  for (int i = 0; i < 100; ++i) reports.push_back(grr.Perturb(1, rng));
+
+  Aggregator one_by_one(grr);
+  for (const Report& r : reports) one_by_one.Add(r);
+  Aggregator batched(grr);
+  batched.AddAll(reports);
+  EXPECT_EQ(one_by_one.support_counts(), batched.support_counts());
+  EXPECT_EQ(one_by_one.report_count(), batched.report_count());
+}
+
+TEST(AggregatorTest, AddSampledCountsMerges) {
+  const Oue oue(3, 0.5);
+  Aggregator agg(oue);
+  agg.AddSampledCounts({10.0, 20.0, 30.0}, 50);
+  agg.AddSampledCounts({1.0, 2.0, 3.0}, 5);
+  EXPECT_EQ(agg.report_count(), 55u);
+  EXPECT_DOUBLE_EQ(agg.support_counts()[1], 22.0);
+}
+
+TEST(AggregatorTest, EstimateWithOverrideCount) {
+  // Detection drops reports and renormalizes with the kept count;
+  // the override path must use exactly that count.
+  const Grr grr(4, 1.0);
+  Aggregator agg(grr);
+  Report r;
+  r.value = 0;
+  for (int i = 0; i < 10; ++i) agg.Add(r);
+  const auto with_override = agg.EstimateFrequencies(20);
+  const auto without = agg.EstimateFrequencies();
+  EXPECT_LT(with_override[0], without[0]);  // larger n dilutes the count
+}
+
+TEST(AggregatorTest, EndToEndUnbiasedAcrossProtocols) {
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto proto = MakeProtocol(kind, 6, 1.0);
+    Rng rng(2);
+    Aggregator agg(*proto);
+    const size_t n = 20000;
+    for (size_t i = 0; i < n; ++i)
+      agg.Add(proto->Perturb(static_cast<ItemId>(i % 3), rng));
+    const auto freqs = agg.EstimateFrequencies();
+    for (ItemId v = 0; v < 3; ++v)
+      EXPECT_NEAR(freqs[v], 1.0 / 3.0, 0.05) << ProtocolKindName(kind) << v;
+    for (ItemId v = 3; v < 6; ++v)
+      EXPECT_NEAR(freqs[v], 0.0, 0.05) << ProtocolKindName(kind) << v;
+  }
+}
+
+TEST(AggregatorDeathTest, SampledCountsSizeMustMatch) {
+  const Grr grr(4, 1.0);
+  Aggregator agg(grr);
+  EXPECT_DEATH(agg.AddSampledCounts({1.0, 2.0}, 3), "LDPR_CHECK");
+}
+
+}  // namespace
+}  // namespace ldpr

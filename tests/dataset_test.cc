@@ -1,0 +1,113 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/math_util.h"
+
+namespace ldpr {
+namespace {
+
+TEST(DatasetTest, CountsAndFrequencies) {
+  const Dataset ds = MakeDatasetFromCounts("t", {10, 30, 60});
+  EXPECT_EQ(ds.domain_size(), 3u);
+  EXPECT_EQ(ds.num_users(), 100u);
+  const auto f = ds.TrueFrequencies();
+  EXPECT_DOUBLE_EQ(f[0], 0.1);
+  EXPECT_DOUBLE_EQ(f[2], 0.6);
+  EXPECT_TRUE(IsProbabilityVector(f));
+}
+
+TEST(DatasetTest, FromFrequenciesApportionsExactly) {
+  const Dataset ds =
+      MakeDatasetFromFrequencies("t", {0.5, 0.25, 0.25}, 1000);
+  EXPECT_EQ(ds.num_users(), 1000u);
+  EXPECT_EQ(ds.item_counts[0], 500u);
+  EXPECT_EQ(ds.item_counts[1], 250u);
+}
+
+TEST(DatasetTest, FromFrequenciesHandlesRoundingRemainder) {
+  const Dataset ds = MakeDatasetFromFrequencies("t", {1.0, 1.0, 1.0}, 100);
+  EXPECT_EQ(ds.num_users(), 100u);
+  // 34/33/33 in some order.
+  uint64_t max_c = 0, min_c = 100;
+  for (uint64_t c : ds.item_counts) {
+    max_c = std::max(max_c, c);
+    min_c = std::min(min_c, c);
+  }
+  EXPECT_EQ(max_c, 34u);
+  EXPECT_EQ(min_c, 33u);
+}
+
+TEST(DatasetTest, ScalePreservesShape) {
+  const Dataset ds = MakeDatasetFromCounts("t", {100, 300, 600});
+  const Dataset scaled = ScaleDataset(ds, 0.1);
+  EXPECT_EQ(scaled.num_users(), 100u);
+  const auto f0 = ds.TrueFrequencies();
+  const auto f1 = scaled.TrueFrequencies();
+  for (size_t v = 0; v < 3; ++v) EXPECT_NEAR(f0[v], f1[v], 0.02);
+}
+
+TEST(DatasetTest, ScaleByOneIsIdentity) {
+  const Dataset ds = MakeDatasetFromCounts("t", {7, 13});
+  const Dataset same = ScaleDataset(ds, 1.0);
+  EXPECT_EQ(same.item_counts, ds.item_counts);
+}
+
+TEST(DatasetTest, ScaleNeverDropsBelowDomainSize) {
+  const Dataset ds = MakeDatasetFromCounts("t", {50, 50, 50, 50});
+  const Dataset tiny = ScaleDataset(ds, 0.001);
+  EXPECT_GE(tiny.num_users(), 4u);
+}
+
+TEST(SyntheticTest, ZipfIsSortedWithoutShuffle) {
+  const Dataset ds = MakeZipfDataset("z", 50, 10000, 1.0, /*shuffle_seed=*/0);
+  for (size_t v = 1; v < 50; ++v)
+    EXPECT_LE(ds.item_counts[v], ds.item_counts[v - 1]);
+}
+
+TEST(SyntheticTest, ShuffleSeedPermutesDeterministically) {
+  const Dataset a = MakeZipfDataset("z", 50, 10000, 1.0, 42);
+  const Dataset b = MakeZipfDataset("z", 50, 10000, 1.0, 42);
+  const Dataset c = MakeZipfDataset("z", 50, 10000, 1.0, 43);
+  EXPECT_EQ(a.item_counts, b.item_counts);
+  EXPECT_NE(a.item_counts, c.item_counts);
+}
+
+TEST(SyntheticTest, UniformDatasetIsBalanced) {
+  const Dataset ds = MakeUniformDataset("u", 10, 1000);
+  for (uint64_t c : ds.item_counts) EXPECT_EQ(c, 100u);
+}
+
+TEST(SyntheticTest, IpumsLikeMatchesPaperScale) {
+  const Dataset ds = MakeIpumsLike();
+  EXPECT_EQ(ds.name, "IPUMS");
+  EXPECT_EQ(ds.domain_size(), 102u);
+  EXPECT_EQ(ds.num_users(), 389894u);
+}
+
+TEST(SyntheticTest, FireLikeMatchesPaperScale) {
+  const Dataset ds = MakeFireLike();
+  EXPECT_EQ(ds.name, "Fire");
+  EXPECT_EQ(ds.domain_size(), 490u);
+  EXPECT_EQ(ds.num_users(), 667574u);
+}
+
+TEST(SyntheticTest, IpumsLikeIsSkewed) {
+  const Dataset ds = MakeIpumsLike();
+  uint64_t max_c = 0;
+  for (uint64_t c : ds.item_counts) max_c = std::max(max_c, c);
+  // The head item dominates the mean by an order of magnitude.
+  EXPECT_GT(max_c, 10 * ds.num_users() / ds.domain_size());
+}
+
+TEST(DatasetDeathTest, RejectsSingleItemDomain) {
+  EXPECT_DEATH(MakeDatasetFromCounts("t", {5}), "LDPR_CHECK");
+}
+
+TEST(DatasetDeathTest, RejectsEmptyPopulation) {
+  EXPECT_DEATH(MakeDatasetFromCounts("t", {0, 0}), "LDPR_CHECK");
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,160 @@
+#include "recover/detection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attack/mga.h"
+#include "ldp/factory.h"
+#include "ldp/grr.h"
+#include "ldp/olh.h"
+#include "ldp/oue.h"
+#include "util/metrics.h"
+
+namespace ldpr {
+namespace {
+
+TEST(DetectionFilterTest, FlagsReportsSupportingTargets) {
+  const Grr grr(10, 0.5);
+  DetectionFilter filter(grr, {3});
+  Report hit;
+  hit.value = 3;
+  Report miss;
+  miss.value = 4;
+  EXPECT_TRUE(filter.IsSuspicious(hit));
+  EXPECT_FALSE(filter.IsSuspicious(miss));
+}
+
+TEST(DetectionFilterTest, OfferDropsSuspicious) {
+  const Grr grr(10, 0.5);
+  DetectionFilter filter(grr, {0});
+  Report hit, miss;
+  hit.value = 0;
+  miss.value = 5;
+  filter.Offer(hit);
+  filter.Offer(miss);
+  filter.Offer(miss);
+  EXPECT_EQ(filter.offered(), 3u);
+  EXPECT_EQ(filter.kept(), 2u);
+}
+
+TEST(DetectionFilterTest, RemovesAllMgaReports) {
+  // Every MGA report supports a target by construction, so Detection
+  // discards the entire malicious cohort.
+  const Oue oue(50, 0.5);
+  MgaOptions opts;
+  opts.pad_oue = false;
+  const MgaAttack attack({4, 9}, opts);
+  Rng rng(1);
+  DetectionFilter filter(oue, {4, 9});
+  filter.OfferAll(attack.Craft(oue, 300, rng));
+  EXPECT_EQ(filter.kept(), 0u);
+}
+
+TEST(DetectionFilterTest, ThresholdsMatchProtocolSignatures) {
+  const Grr grr(20, 0.5);
+  const Oue oue(20, 0.5);
+  const Olh olh(20, 0.5);
+  EXPECT_EQ(DetectionFilter(grr, {1, 2, 3, 4}).threshold(), 1u);
+  EXPECT_EQ(DetectionFilter(oue, {1, 2, 3, 4}).threshold(), 4u);
+  EXPECT_EQ(DetectionFilter(olh, {1, 2, 3, 4}).threshold(), 2u);
+}
+
+TEST(DetectionFilterTest, OueCollateralDamageMatchesTheory) {
+  // A genuine OUE report is flagged only when *all* r target bits
+  // flip to 1 — probability q^r for non-target holders.  Most genuine
+  // users survive, but survivors' target rows are biased (the
+  // conditional bit law loses mass), which is the collateral damage
+  // the paper attributes to Detection.
+  const size_t d = 40;
+  const size_t r = 3;
+  const Oue oue(d, 0.5);
+  Rng rng(2);
+  DetectionFilter filter(oue, {0, 1, 2});
+  const size_t n = 20000;
+  for (size_t i = 0; i < n; ++i)
+    filter.Offer(oue.Perturb(static_cast<ItemId>(10 + i % 20), rng));
+  const double keep_rate =
+      static_cast<double>(filter.kept()) / static_cast<double>(n);
+  const double expected = 1.0 - std::pow(oue.q(), static_cast<double>(r));
+  EXPECT_NEAR(keep_rate, expected, 0.01);
+  // Target rows under-estimate: their true frequency here is 0, and
+  // conditioning pushes the estimate below the unbiased value.
+  const auto freqs = filter.Estimate();
+  EXPECT_LT(freqs[0], 0.005);
+}
+
+// The fast sampled path matches the streaming path in expectation for
+// each protocol that has one.
+class DetectionFastPathTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(DetectionFastPathTest, FastAndStreamingAgree) {
+  const size_t d = 24;
+  const auto proto = MakeProtocol(GetParam(), d, 0.8);
+  const std::vector<ItemId> targets = {1, 5};
+  std::vector<uint64_t> item_counts(d, 500);
+
+  RunningStat fast_kept, slow_kept;
+  RunningStat fast_f10, slow_f10;
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    DetectionFilter fast(*proto, targets);
+    fast.OfferSampledGenuine(item_counts, rng);
+    fast_kept.Add(static_cast<double>(fast.kept()));
+    fast_f10.Add(fast.Estimate()[10]);
+
+    DetectionFilter slow(*proto, targets);
+    for (ItemId item = 0; item < d; ++item) {
+      for (uint64_t u = 0; u < item_counts[item]; ++u)
+        slow.Offer(proto->Perturb(item, rng));
+    }
+    slow_kept.Add(static_cast<double>(slow.kept()));
+    slow_f10.Add(slow.Estimate()[10]);
+  }
+  const double n = 24.0 * 500.0;
+  EXPECT_NEAR(fast_kept.mean() / n, slow_kept.mean() / n, 0.02);
+  // Means over 30 independent trials; ~4 sigma of the trial-mean.
+  EXPECT_NEAR(fast_f10.mean(), slow_f10.mean(), 0.018);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DetectionFastPathTest,
+                         ::testing::Values(ProtocolKind::kGrr,
+                                           ProtocolKind::kOue,
+                                           ProtocolKind::kOlh),
+                         [](const auto& param_info) {
+                           return std::string(ProtocolKindName(param_info.param));
+                         });
+
+TEST(DetectionFilterTest, EstimateNormalizesByKeptCount) {
+  const size_t d = 16;
+  const Grr grr(d, 1.0);
+  Rng rng(4);
+  DetectionFilter filter(grr, {0});
+  // Genuine users all hold item 8 (never a target).
+  std::vector<uint64_t> item_counts(d, 0);
+  item_counts[8] = 30000;
+  filter.OfferSampledGenuine(item_counts, rng);
+  const auto freqs = filter.Estimate();
+  // Conditioned on not reporting item 0, the kept fraction is 1 - q
+  // and item 8's support rate renormalizes to p/(1-q); the adjusted
+  // estimate is therefore biased to (p/(1-q) - q)/(p - q) > 1 — the
+  // collateral-damage bias the paper attributes to Detection.
+  const double p = grr.p(), q = grr.q();
+  const double expected = (p / (1.0 - q) - q) / (p - q);
+  EXPECT_GT(expected, 1.0);
+  EXPECT_NEAR(freqs[8], expected, 0.03);
+}
+
+TEST(DetectionFilterDeathTest, RejectsEmptyTargets) {
+  const Grr grr(5, 0.5);
+  EXPECT_DEATH(DetectionFilter(grr, {}), "LDPR_CHECK");
+}
+
+TEST(DetectionFilterDeathTest, EstimateRequiresKeptReports) {
+  const Grr grr(5, 0.5);
+  DetectionFilter filter(grr, {1});
+  EXPECT_DEATH((void)filter.Estimate(), "LDPR_CHECK");
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,107 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ldpr {
+namespace {
+
+Dataset SmallDataset() { return MakeZipfDataset("z", 30, 30000, 1.0, 11); }
+
+TEST(ExperimentTest, DeterministicInSeed) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kGrr;
+  config.pipeline.attack = AttackKind::kMga;
+  config.trials = 3;
+  config.seed = 77;
+  const Dataset ds = SmallDataset();
+  const ExperimentResult a = RunExperiment(config, ds);
+  const ExperimentResult b = RunExperiment(config, ds);
+  EXPECT_DOUBLE_EQ(a.mse_before.mean(), b.mse_before.mean());
+  EXPECT_DOUBLE_EQ(a.mse_recover.mean(), b.mse_recover.mean());
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  ExperimentConfig config;
+  config.pipeline.attack = AttackKind::kAdaptive;
+  config.trials = 2;
+  const Dataset ds = SmallDataset();
+  config.seed = 1;
+  const double a = RunExperiment(config, ds).mse_before.mean();
+  config.seed = 2;
+  const double b = RunExperiment(config, ds).mse_before.mean();
+  EXPECT_NE(a, b);
+}
+
+TEST(ExperimentTest, CollectsAllMetricsForMga) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kOue;
+  config.pipeline.attack = AttackKind::kMga;
+  config.trials = 3;
+  const ExperimentResult r = RunExperiment(config, SmallDataset());
+  EXPECT_EQ(r.mse_before.count(), 3u);
+  EXPECT_EQ(r.mse_recover.count(), 3u);
+  EXPECT_EQ(r.mse_recover_star.count(), 3u);
+  EXPECT_EQ(r.mse_detection.count(), 3u);
+  EXPECT_EQ(r.fg_before.count(), 3u);
+  EXPECT_EQ(r.fg_recover.count(), 3u);
+  EXPECT_EQ(r.mse_malicious_recover.count(), 3u);
+}
+
+TEST(ExperimentTest, UntargetedAttackSkipsFgButRunsStar) {
+  ExperimentConfig config;
+  config.pipeline.attack = AttackKind::kAdaptive;
+  config.trials = 2;
+  const ExperimentResult r = RunExperiment(config, SmallDataset());
+  EXPECT_EQ(r.fg_before.count(), 0u);      // no target set -> no FG
+  EXPECT_EQ(r.mse_recover_star.count(), 2u);  // star uses top gainers
+}
+
+TEST(ExperimentTest, NoAttackControlRunsRecoveryOnly) {
+  // Table I's configuration.
+  ExperimentConfig config;
+  config.pipeline.attack = AttackKind::kNone;
+  config.trials = 2;
+  const ExperimentResult r = RunExperiment(config, SmallDataset());
+  EXPECT_EQ(r.mse_before.count(), 2u);
+  EXPECT_EQ(r.mse_recover.count(), 2u);
+  EXPECT_EQ(r.mse_detection.count(), 0u);
+  EXPECT_EQ(r.mse_recover_star.count(), 0u);
+}
+
+TEST(ExperimentTest, RecoveryImprovesMseUnderMga) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kOue;
+  config.pipeline.attack = AttackKind::kMga;
+  config.pipeline.beta = 0.05;
+  config.trials = 3;
+  const ExperimentResult r = RunExperiment(config, SmallDataset());
+  EXPECT_LT(r.mse_recover.mean(), r.mse_before.mean());
+  EXPECT_LT(r.mse_recover_star.mean(), r.mse_before.mean());
+}
+
+TEST(ExperimentTest, StarReducesFgBelowPlainRecovery) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kOue;
+  config.pipeline.attack = AttackKind::kMga;
+  config.trials = 4;
+  const ExperimentResult r = RunExperiment(config, SmallDataset());
+  // Both crush the attack's gain; star at least matches.
+  EXPECT_LT(r.fg_recover.mean(), 0.5 * r.fg_before.mean());
+  EXPECT_LE(r.fg_recover_star.mean(), r.fg_recover.mean() + 0.02);
+}
+
+TEST(ExperimentTest, DisableFlagsSkipMethods) {
+  ExperimentConfig config;
+  config.pipeline.attack = AttackKind::kMga;
+  config.trials = 2;
+  config.run_detection = false;
+  config.run_star = false;
+  const ExperimentResult r = RunExperiment(config, SmallDataset());
+  EXPECT_EQ(r.mse_detection.count(), 0u);
+  EXPECT_EQ(r.mse_recover_star.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ldpr

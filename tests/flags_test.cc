@@ -1,0 +1,69 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpr {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  const auto flags = Parse({"--protocol=OUE", "--beta=0.1"});
+  EXPECT_EQ(flags.GetString("protocol", "GRR"), "OUE");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0).value(), 0.1);
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  const auto flags = Parse({"--protocol", "OLH", "--trials", "7"});
+  EXPECT_EQ(flags.GetString("protocol", ""), "OLH");
+  EXPECT_EQ(flags.GetInt("trials", 0).value(), 7);
+}
+
+TEST(FlagParserTest, BooleanForms) {
+  const auto flags = Parse({"--verbose", "--fast=true", "--slow=0"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_FALSE(flags.GetBool("slow", true));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  const auto flags = Parse({});
+  EXPECT_EQ(flags.GetString("x", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("y", 2.5).value(), 2.5);
+  EXPECT_EQ(flags.GetInt("z", -3).value(), -3);
+  EXPECT_FALSE(flags.Has("x"));
+}
+
+TEST(FlagParserTest, MalformedNumbersAreErrors) {
+  const auto flags = Parse({"--beta=abc", "--trials=1.5x"});
+  EXPECT_FALSE(flags.GetDouble("beta", 0.0).ok());
+  EXPECT_FALSE(flags.GetInt("trials", 0).ok());
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const auto flags = Parse({"input.csv", "--k=3", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagParserTest, UnusedFlagsDetected) {
+  const auto flags = Parse({"--used=1", "--typo=2"});
+  (void)flags.GetInt("used", 0);
+  const auto unused = flags.unused_flags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  const auto flags = Parse({"--x=1", "--x=2"});
+  EXPECT_EQ(flags.GetInt("x", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,99 @@
+#include "tasks/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ldp/factory.h"
+#include "recover/ldprecover.h"
+#include "sim/pipeline.h"
+
+namespace ldpr {
+namespace {
+
+TEST(IdentifyHeavyHittersTest, SortsByFrequency) {
+  const std::vector<double> freqs = {0.1, 0.4, 0.05, 0.25, 0.2};
+  const auto hitters = IdentifyHeavyHitters(freqs, {.k = 3});
+  ASSERT_EQ(hitters.size(), 3u);
+  EXPECT_EQ(hitters[0].item, 1u);
+  EXPECT_EQ(hitters[1].item, 3u);
+  EXPECT_EQ(hitters[2].item, 4u);
+  EXPECT_DOUBLE_EQ(hitters[0].frequency, 0.4);
+}
+
+TEST(IdentifyHeavyHittersTest, MinFrequencyTruncates) {
+  const std::vector<double> freqs = {0.5, 0.3, 0.001, 0.0};
+  const auto hitters =
+      IdentifyHeavyHitters(freqs, {.k = 4, .min_frequency = 0.01});
+  EXPECT_EQ(hitters.size(), 2u);
+}
+
+TEST(IdentifyHeavyHittersTest, KLargerThanDomain) {
+  const std::vector<double> freqs = {0.6, 0.4};
+  EXPECT_EQ(IdentifyHeavyHitters(freqs, {.k = 10}).size(), 2u);
+}
+
+TEST(IdentifyHeavyHittersTest, TieBreaksById) {
+  const std::vector<double> freqs = {0.25, 0.25, 0.25, 0.25};
+  const auto hitters = IdentifyHeavyHitters(freqs, {.k = 2});
+  EXPECT_EQ(hitters[0].item, 0u);
+  EXPECT_EQ(hitters[1].item, 1u);
+}
+
+TEST(TopKDisplacementTest, ZeroForIdenticalRanking) {
+  const std::vector<double> freqs = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(TopKDisplacement(freqs, freqs, 2), 0.0);
+}
+
+TEST(TopKDisplacementTest, FullDisplacement) {
+  const std::vector<double> truth = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<double> est = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(TopKDisplacement(truth, est, 2), 1.0);
+}
+
+TEST(TopKDisplacementTest, PartialDisplacement) {
+  const std::vector<double> truth = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<double> est = {0.4, 0.1, 0.2, 0.3};  // item 1 drops out
+  EXPECT_DOUBLE_EQ(TopKDisplacement(truth, est, 2), 0.5);
+}
+
+TEST(CountInTopKTest, CountsMembership) {
+  const std::vector<double> freqs = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_EQ(CountInTopK(freqs, {0, 3}, 2), 1u);
+  EXPECT_EQ(CountInTopK(freqs, {0, 1}, 2), 2u);
+  EXPECT_EQ(CountInTopK(freqs, {}, 2), 0u);
+}
+
+TEST(HeavyHitterRecoveryTest, RecoveryRestoresRankingUnderMga) {
+  // End-to-end task-level check: MGA pushes its targets into the
+  // published top-10; recovery evicts (most of) them.
+  const Dataset ds = MakeZipfDataset("z", 64, 200000, 1.2, 5);
+  const auto proto = MakeProtocol(ProtocolKind::kOue, 64, 0.5);
+  PipelineConfig config;
+  config.attack = AttackKind::kMga;
+  config.beta = 0.05;
+  config.num_targets = 5;
+  Rng rng(6);
+
+  size_t poisoned_hits = 0, recovered_hits = 0;
+  double poisoned_disp = 0.0, recovered_disp = 0.0;
+  const int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const TrialOutput t = RunPoisoningTrial(*proto, config, ds, rng);
+    RecoverOptions opts;
+    opts.known_targets = t.attack_targets;
+    const LdpRecover recover(*proto, opts);
+    const auto recovered = recover.Recover(t.poisoned_freqs);
+
+    poisoned_hits += CountInTopK(t.poisoned_freqs, t.attack_targets, 10);
+    recovered_hits += CountInTopK(recovered, t.attack_targets, 10);
+    poisoned_disp += TopKDisplacement(t.true_freqs, t.poisoned_freqs, 10);
+    recovered_disp += TopKDisplacement(t.true_freqs, recovered, 10);
+  }
+  // The attack plants targets in the ranking; recovery evicts them.
+  EXPECT_GT(poisoned_hits, static_cast<size_t>(2 * kTrials));
+  EXPECT_LT(recovered_hits, poisoned_hits / 2);
+  EXPECT_LT(recovered_disp, poisoned_disp);
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,152 @@
+#include "kv/kv.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace ldpr {
+namespace {
+
+// Synthesizes n genuine users whose keys follow `key_freqs` and whose
+// values are the per-key means in `means` (deterministic values; the
+// discretization supplies the randomness).
+void AddGenuineUsers(const KvProtocol& protocol, KvAggregator& agg,
+                     const std::vector<double>& key_freqs,
+                     const std::vector<double>& means, size_t n, Rng& rng) {
+  const AliasSampler keys(key_freqs);
+  for (size_t i = 0; i < n; ++i) {
+    KvPair pair;
+    pair.key = static_cast<ItemId>(keys.Sample(rng));
+    pair.value = means[pair.key];
+    agg.Add(protocol.Perturb(pair, rng));
+  }
+}
+
+TEST(KvProtocolTest, RejectsOutOfRangeInput) {
+  const KvProtocol protocol(4, 1.0, 1.0);
+  Rng rng(1);
+  EXPECT_DEATH((void)protocol.Perturb({5, 0.0}, rng), "LDPR_CHECK");
+  EXPECT_DEATH((void)protocol.Perturb({0, 1.5}, rng), "LDPR_CHECK");
+}
+
+TEST(KvProtocolTest, CraftedReportPromotesKeyWithPlus) {
+  const KvProtocol protocol(8, 1.0, 1.0);
+  const KvReport r = protocol.CraftReport(3);
+  EXPECT_EQ(r.key, 3u);
+  EXPECT_EQ(r.plus_bit, 1);
+}
+
+TEST(KvProtocolTest, FlippedReportsCarryUniformFakeBit) {
+  // Users whose key flips attach a fair coin: across many perturbed
+  // reports of a -1-valued user, reports landing on *other* keys have
+  // plus rate ~1/2 while same-key reports skew to the minus side.
+  const KvProtocol protocol(4, 1.0, 2.0);
+  Rng rng(2);
+  size_t other = 0, other_plus = 0, same = 0, same_plus = 0;
+  for (int i = 0; i < 60000; ++i) {
+    const KvReport r = protocol.Perturb({0, -1.0}, rng);
+    if (r.key == 0) {
+      ++same;
+      same_plus += r.plus_bit;
+    } else {
+      ++other;
+      other_plus += r.plus_bit;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(other_plus) / other, 0.5, 0.02);
+  // value = -1 discretizes to minus always; RR keeps it w.p. p_v.
+  EXPECT_NEAR(static_cast<double>(same_plus) / same,
+              1.0 - protocol.value_keep_probability(), 0.02);
+}
+
+TEST(KvAggregatorTest, FrequencyAndMeanUnbiased) {
+  const size_t d = 6;
+  const KvProtocol protocol(d, 2.0, 2.0);
+  const std::vector<double> key_freqs = {0.3, 0.25, 0.2, 0.15, 0.07, 0.03};
+  const std::vector<double> means = {0.8, -0.5, 0.0, 0.3, -0.9, 0.6};
+  Rng rng(3);
+  KvAggregator agg(protocol);
+  AddGenuineUsers(protocol, agg, key_freqs, means, 200000, rng);
+  const KvEstimate est = agg.Estimate();
+  for (size_t k = 0; k < d; ++k) {
+    EXPECT_NEAR(est.frequencies[k], key_freqs[k], 0.02) << k;
+    EXPECT_NEAR(est.means[k], means[k], 0.1) << k;
+  }
+}
+
+TEST(KvAttackTest, CraftedReportsInflateTargetFrequencyAndMean) {
+  const size_t d = 6;
+  const KvProtocol protocol(d, 1.0, 1.0);
+  const std::vector<double> key_freqs = {0.4, 0.3, 0.15, 0.1, 0.04, 0.01};
+  const std::vector<double> means(d, -0.6);  // everyone dislikes key 5
+  Rng rng(4);
+
+  KvAggregator clean(protocol);
+  AddGenuineUsers(protocol, clean, key_freqs, means, 100000, rng);
+  const KvEstimate before = clean.Estimate();
+
+  KvAggregator attacked(protocol);
+  AddGenuineUsers(protocol, attacked, key_freqs, means, 100000, rng);
+  for (int i = 0; i < 8000; ++i) attacked.Add(protocol.CraftReport(5));
+  const KvEstimate after = attacked.Estimate();
+
+  EXPECT_GT(after.frequencies[5], before.frequencies[5] + 0.05);
+  EXPECT_GT(after.means[5], before.means[5] + 0.5);
+}
+
+TEST(KvRecoverTest, RestoresFrequenciesAndMeans) {
+  const size_t d = 6;
+  const KvProtocol protocol(d, 1.0, 1.0);
+  const std::vector<double> key_freqs = {0.4, 0.3, 0.15, 0.1, 0.04, 0.01};
+  const std::vector<double> means = {0.2, -0.1, 0.5, -0.4, 0.0, -0.6};
+  Rng rng(5);
+
+  const size_t n = 150000;
+  const size_t m = 12000;  // ~7.4% malicious
+  KvAggregator attacked(protocol);
+  AddGenuineUsers(protocol, attacked, key_freqs, means, n, rng);
+  for (size_t i = 0; i < m; ++i) attacked.Add(protocol.CraftReport(5));
+  const KvEstimate poisoned = attacked.Estimate();
+
+  KvRecoverOptions options;
+  options.eta = 0.1;
+  options.known_targets = std::vector<ItemId>{5};
+  const KvEstimate recovered = KvRecover(protocol, attacked, options);
+
+  // Frequencies: recovery beats the poisoned estimate.
+  EXPECT_LT(Mse(key_freqs, recovered.frequencies),
+            Mse(key_freqs, poisoned.frequencies));
+  // Target mean: the attack drags it toward +1, recovery pulls back.
+  EXPECT_GT(poisoned.means[5], means[5] + 0.4);
+  EXPECT_LT(std::abs(recovered.means[5] - means[5]),
+            std::abs(poisoned.means[5] - means[5]));
+  // Non-target means stay reasonable.
+  for (size_t k = 0; k + 1 < d; ++k)
+    EXPECT_NEAR(recovered.means[k], means[k], 0.25) << k;
+}
+
+TEST(KvRecoverTest, NoAttackIsNearNoOp) {
+  const size_t d = 5;
+  const KvProtocol protocol(d, 2.0, 2.0);
+  const std::vector<double> key_freqs = {0.3, 0.25, 0.2, 0.15, 0.1};
+  const std::vector<double> means = {0.5, -0.5, 0.1, -0.1, 0.9};
+  Rng rng(6);
+  KvAggregator agg(protocol);
+  AddGenuineUsers(protocol, agg, key_freqs, means, 150000, rng);
+
+  // A small eta keeps the worst-case (+1) malicious assumption from
+  // dragging the means far down when no attack actually happened —
+  // the KV analogue of Table I's recovery-cost-on-clean-data effect.
+  KvRecoverOptions options;
+  options.eta = 0.02;
+  const KvEstimate recovered = KvRecover(protocol, agg, options);
+  for (size_t k = 0; k < d; ++k) {
+    EXPECT_NEAR(recovered.frequencies[k], key_freqs[k], 0.03) << k;
+    EXPECT_NEAR(recovered.means[k], means[k], 0.2) << k;
+  }
+}
+
+}  // namespace
+}  // namespace ldpr

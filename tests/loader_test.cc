@@ -1,0 +1,82 @@
+#include "data/loader.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace ldpr {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/ldpr_loader_test.csv";
+  void Write(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(LoaderTest, BuildsHistogramInFirstAppearanceOrder) {
+  Write("unit\nE01\nE02\nE01\nE03\nE01\n");
+  const auto loaded = LoadItemCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.domain_size(), 3u);
+  EXPECT_EQ(loaded->dataset.num_users(), 5u);
+  EXPECT_EQ(loaded->item_labels[0], "E01");
+  EXPECT_EQ(loaded->dataset.item_counts[0], 3u);  // E01
+  EXPECT_EQ(loaded->dataset.item_counts[1], 1u);  // E02
+}
+
+TEST_F(LoaderTest, SelectsColumn) {
+  Write("id,city\n1,Springfield\n2,Shelbyville\n3,Springfield\n");
+  LoadOptions opts;
+  opts.column = 1;
+  const auto loaded = LoadItemCsv(path_, opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->item_labels[0], "Springfield");
+  EXPECT_EQ(loaded->dataset.item_counts[0], 2u);
+}
+
+TEST_F(LoaderTest, NoHeaderMode) {
+  Write("a\nb\na\n");
+  LoadOptions opts;
+  opts.has_header = false;
+  const auto loaded = LoadItemCsv(path_, opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.num_users(), 3u);
+}
+
+TEST_F(LoaderTest, QuotedFieldsWithCommas) {
+  Write("city\n\"San Francisco, CA\"\n\"San Francisco, CA\"\nOakland\n");
+  const auto loaded = LoadItemCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->item_labels[0], "San Francisco, CA");
+  EXPECT_EQ(loaded->dataset.item_counts[0], 2u);
+}
+
+TEST_F(LoaderTest, MissingColumnIsError) {
+  Write("a\nb\nc\n");
+  LoadOptions opts;
+  opts.column = 5;
+  const auto loaded = LoadItemCsv(path_, opts);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoaderTest, SingleDistinctItemIsError) {
+  Write("x\nsame\nsame\nsame\n");
+  const auto loaded = LoadItemCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoaderErrorTest, MissingFile) {
+  const auto loaded = LoadItemCsv("/nonexistent/x.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,116 @@
+// Parameterized end-to-end properties of LDPRecover across the full
+// (protocol x attack x epsilon) grid the paper evaluates: the
+// recovered frequencies always live on the simplex, and recovery
+// never does worse than the poisoned estimate by more than noise.
+
+#include <memory>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ldp/factory.h"
+#include "recover/ldprecover.h"
+#include "sim/pipeline.h"
+#include "util/math_util.h"
+#include "util/metrics.h"
+
+namespace ldpr {
+namespace {
+
+struct Params {
+  ProtocolKind protocol;
+  AttackKind attack;
+  double epsilon;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Params>& info) {
+  std::string name = ProtocolKindName(info.param.protocol);
+  name += "_";
+  name += AttackKindName(info.param.attack);
+  name += "_eps";
+  name += std::to_string(static_cast<int>(info.param.epsilon * 100));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class RecoveryPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  static constexpr size_t kDomain = 24;
+  Dataset dataset_ = MakeZipfDataset("z", kDomain, 40000, 1.0, 31);
+  std::unique_ptr<FrequencyProtocol> protocol_ =
+      MakeProtocol(GetParam().protocol, kDomain, GetParam().epsilon);
+};
+
+TEST_P(RecoveryPropertyTest, RecoveredFrequenciesOnSimplex) {
+  PipelineConfig config;
+  config.attack = GetParam().attack;
+  Rng rng(41);
+  for (int trial = 0; trial < 3; ++trial) {
+    const TrialOutput t = RunPoisoningTrial(*protocol_, config, dataset_, rng);
+    const LdpRecover recover(*protocol_);
+    EXPECT_TRUE(
+        IsProbabilityVector(recover.Recover(t.poisoned_freqs), 1e-8));
+  }
+}
+
+TEST_P(RecoveryPropertyTest, RecoveryNotWorseThanPoisoned) {
+  PipelineConfig config;
+  config.attack = GetParam().attack;
+  config.beta = 0.05;
+  Rng rng(42);
+  RunningStat before, after;
+  for (int trial = 0; trial < 5; ++trial) {
+    const TrialOutput t = RunPoisoningTrial(*protocol_, config, dataset_, rng);
+    const LdpRecover recover(*protocol_);
+    before.Add(Mse(t.true_freqs, t.poisoned_freqs));
+    after.Add(Mse(t.true_freqs, recover.Recover(t.poisoned_freqs)));
+  }
+  // Recovery improves (or at worst matches within noise).
+  EXPECT_LT(after.mean(), before.mean() * 1.05 + 1e-6);
+}
+
+TEST_P(RecoveryPropertyTest, EtaOverestimationIsTolerated) {
+  // The paper's central usability claim: eta = 0.2 >> true ratio
+  // still recovers well.
+  PipelineConfig config;
+  config.attack = GetParam().attack;
+  config.beta = 0.05;  // true ratio ~0.053
+  Rng rng(43);
+  RunningStat loose, tight;
+  for (int trial = 0; trial < 5; ++trial) {
+    const TrialOutput t = RunPoisoningTrial(*protocol_, config, dataset_, rng);
+    RecoverOptions tight_opts;
+    tight_opts.eta = 0.053;
+    RecoverOptions loose_opts;
+    loose_opts.eta = 0.2;
+    tight.Add(Mse(t.true_freqs,
+                  LdpRecover(*protocol_, tight_opts).Recover(t.poisoned_freqs)));
+    loose.Add(Mse(t.true_freqs,
+                  LdpRecover(*protocol_, loose_opts).Recover(t.poisoned_freqs)));
+  }
+  // Over-specifying eta costs at most a small constant factor.
+  EXPECT_LT(loose.mean(), 10.0 * tight.mean() + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RecoveryPropertyTest,
+    ::testing::Values(
+        Params{ProtocolKind::kGrr, AttackKind::kManip, 0.5},
+        Params{ProtocolKind::kGrr, AttackKind::kMga, 0.5},
+        Params{ProtocolKind::kGrr, AttackKind::kAdaptive, 0.5},
+        Params{ProtocolKind::kOue, AttackKind::kMga, 0.5},
+        Params{ProtocolKind::kOue, AttackKind::kAdaptive, 0.5},
+        Params{ProtocolKind::kOlh, AttackKind::kMga, 0.5},
+        Params{ProtocolKind::kOlh, AttackKind::kAdaptive, 0.5},
+        Params{ProtocolKind::kOue, AttackKind::kAdaptive, 0.1},
+        Params{ProtocolKind::kOue, AttackKind::kAdaptive, 1.6},
+        Params{ProtocolKind::kGrr, AttackKind::kMultiAdaptive, 0.5},
+        Params{ProtocolKind::kOue, AttackKind::kMgaIpa, 0.5}),
+    ParamName);
+
+}  // namespace
+}  // namespace ldpr

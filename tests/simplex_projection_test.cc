@@ -1,0 +1,117 @@
+#include "recover/simplex_projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace ldpr {
+namespace {
+
+TEST(SimplexProjectionTest, FixedPointOnSimplex) {
+  const std::vector<double> v = {0.2, 0.3, 0.5};
+  const auto out = ProjectToSimplexKkt(v);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(SimplexProjectionTest, UniformShiftWhenAllStayPositive) {
+  // Sum is 1.2, all entries large: each loses 0.2/4 = 0.05.
+  const std::vector<double> v = {0.3, 0.3, 0.3, 0.3};
+  const auto out = ProjectToSimplexKkt(v);
+  for (double x : out) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(SimplexProjectionTest, NegativesClampToZero) {
+  const std::vector<double> v = {-0.5, 0.8, 0.9};
+  const auto out = ProjectToSimplexKkt(v);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_TRUE(IsProbabilityVector(out));
+  // The two positives split the excess evenly: 0.8 and 0.9 shift by
+  // ((0.8+0.9)-1)/2 = 0.35 each.
+  EXPECT_NEAR(out[1], 0.45, 1e-12);
+  EXPECT_NEAR(out[2], 0.55, 1e-12);
+}
+
+TEST(SimplexProjectionTest, CascadingRemovals) {
+  // First pass drives a small positive negative; a second pass must
+  // remove it too (Algorithm 1's while loop).
+  const std::vector<double> v = {0.05, 0.9, 0.9};
+  const auto out = ProjectToSimplexKkt(v);
+  EXPECT_TRUE(IsProbabilityVector(out));
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_GE(SimplexProjectionIterations(v), 2u);
+}
+
+TEST(SimplexProjectionTest, PreservesOrdering) {
+  Rng rng(1);
+  std::vector<double> v(20);
+  for (double& x : v) x = rng.UniformDouble() * 2.0 - 0.5;
+  const auto out = ProjectToSimplexKkt(v);
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = 0; j < v.size(); ++j) {
+      if (v[i] < v[j]) EXPECT_LE(out[i], out[j] + 1e-12);
+    }
+  }
+}
+
+TEST(SimplexProjectionTest, IsEuclideanProjection) {
+  // The KKT solution minimizes ||f' - f~||_2 over the simplex, so no
+  // random simplex point may be closer to the input.
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> v(8);
+    for (double& x : v) x = rng.UniformDouble() * 1.5 - 0.4;
+    const auto proj = ProjectToSimplexKkt(v);
+    const double best = L2Distance(v, proj);
+    for (int probe = 0; probe < 50; ++probe) {
+      const auto candidate = SampleRandomDistribution(8, rng);
+      EXPECT_GE(L2Distance(v, candidate) + 1e-12, best);
+    }
+  }
+}
+
+TEST(SimplexProjectionTest, AllNegativeInputProjectsByShift) {
+  // {-0.9, -0.1, -0.5}: the first pass shifts by -0.833 and removes
+  // index 0; the second pass shifts the survivors by -0.8, yielding
+  // the Euclidean projection {0, 0.7, 0.3}.
+  const std::vector<double> v = {-0.9, -0.1, -0.5};
+  const auto out = ProjectToSimplexKkt(v);
+  EXPECT_TRUE(IsProbabilityVector(out));
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_NEAR(out[1], 0.7, 1e-12);
+  EXPECT_NEAR(out[2], 0.3, 1e-12);
+}
+
+TEST(SimplexProjectionTest, SingleElement) {
+  const auto out = ProjectToSimplexKkt({0.3});
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+TEST(SimplexProjectionTest, LargeRandomInputsAlwaysValid) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(490);
+    for (double& x : v) x = (rng.UniformDouble() - 0.45) * 0.1;
+    const auto out = ProjectToSimplexKkt(v);
+    EXPECT_TRUE(IsProbabilityVector(out, 1e-8));
+  }
+}
+
+TEST(SimplexProjectionTest, IterationCountBounded) {
+  // Each pass removes at least one item, so iterations <= d.
+  Rng rng(4);
+  std::vector<double> v(100);
+  for (double& x : v) x = rng.UniformDouble() - 0.5;
+  EXPECT_LE(SimplexProjectionIterations(v), 100u);
+}
+
+TEST(SimplexProjectionDeathTest, RejectsEmptyInput) {
+  EXPECT_DEATH(ProjectToSimplexKkt({}), "LDPR_CHECK");
+}
+
+}  // namespace
+}  // namespace ldpr

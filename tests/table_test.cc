@@ -1,0 +1,46 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpr {
+namespace {
+
+TEST(FormatScientificTest, MatchesPaperPrecision) {
+  EXPECT_EQ(FormatScientific(5.89e-4), "5.890e-04");
+  EXPECT_EQ(FormatScientific(1.21e-6), "1.210e-06");
+  EXPECT_EQ(FormatScientific(0.0), "0.000e+00");
+}
+
+TEST(TablePrinterTest, RendersHeaderRowsAndSeparators) {
+  TablePrinter t("Table I (IPUMS)", {"Before-Rec", "After-Rec"});
+  t.AddRow("GRR", {5.89e-4, 5.31e-4});
+  t.AddSeparator();
+  t.AddRow("OUE", {3.81e-5, 5.33e-4});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Table I (IPUMS)"), std::string::npos);
+  EXPECT_NE(s.find("Before-Rec"), std::string::npos);
+  EXPECT_NE(s.find("GRR"), std::string::npos);
+  EXPECT_NE(s.find("5.890e-04"), std::string::npos);
+  EXPECT_NE(s.find("3.810e-05"), std::string::npos);
+  // Separator appears as a dashed line beyond the header's.
+  size_t dashes = 0;
+  for (size_t pos = s.find("\n--"); pos != std::string::npos;
+       pos = s.find("\n--", pos + 1))
+    ++dashes;
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TablePrinterTest, LongLabelsWidenColumn) {
+  TablePrinter t("x", {"v"});
+  t.AddRow("a-very-long-method-name", {1.0});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("a-very-long-method-name"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowArityMustMatch) {
+  TablePrinter t("x", {"a", "b"});
+  EXPECT_DEATH(t.AddRow("r", {1.0}), "LDPR_CHECK");
+}
+
+}  // namespace
+}  // namespace ldpr
