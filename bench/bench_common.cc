@@ -1,10 +1,12 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "data/synthetic.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace ldpr {
 namespace bench {
@@ -32,9 +34,11 @@ void PrintBanner(const std::string& what) {
   const Dataset fire = BenchFire();
   std::printf(
       "%s\n"
-      "scale=%.3g (LDPR_BENCH_SCALE), trials=%zu (LDPR_BENCH_TRIALS)\n"
+      "scale=%.3g (LDPR_BENCH_SCALE), trials=%zu (LDPR_BENCH_TRIALS), "
+      "threads=%zu (LDPR_THREADS)\n"
       "IPUMS-like: d=%zu n=%llu | Fire-like: d=%zu n=%llu\n\n",
-      what.c_str(), ScaleFactor(), Trials(), ipums.domain_size(),
+      what.c_str(), ScaleFactor(), Trials(), DefaultThreadCount(),
+      ipums.domain_size(),
       static_cast<unsigned long long>(ipums.num_users()), fire.domain_size(),
       static_cast<unsigned long long>(fire.num_users()));
 }
@@ -50,6 +54,29 @@ ExperimentConfig DefaultConfig(ProtocolKind protocol, AttackKind attack) {
   config.trials = Trials();
   config.seed = 20240213;
   return config;
+}
+
+std::vector<ExperimentResult> RunConfigs(
+    const std::vector<ExperimentConfig>& configs, const Dataset& dataset) {
+  const size_t threads = DefaultThreadCount();
+  // Split the pool between the configuration fan-out and each
+  // experiment's own trial fan-out so the total stays near
+  // LDPR_THREADS even when there are few configs; the remainder of
+  // the division goes to the first configs so no worker sits idle
+  // (results don't depend on thread counts, so this stays
+  // deterministic).
+  const size_t outer =
+      std::max<size_t>(1, std::min(threads, configs.size()));
+  const size_t inner = std::max<size_t>(1, threads / outer);
+  const size_t remainder = threads > inner * outer ? threads - inner * outer : 0;
+
+  std::vector<ExperimentResult> results(configs.size());
+  ParallelFor(outer, configs.size(), [&](size_t i) {
+    ExperimentConfig config = configs[i];
+    config.threads = inner + (i < remainder ? 1 : 0);
+    results[i] = RunExperiment(config, dataset);
+  });
+  return results;
 }
 
 }  // namespace bench

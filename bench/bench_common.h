@@ -8,8 +8,11 @@
 //                      (default 0.05; set 1 for paper scale)
 //   LDPR_BENCH_TRIALS  trials averaged per configuration
 //                      (default 3; the paper uses 10)
+//   LDPR_THREADS       worker threads for the experiment fan-out
+//                      (default: hardware concurrency)
 //
-// All benches are deterministic for a fixed (scale, trials) pair.
+// All benches are deterministic for a fixed (scale, trials) pair at
+// any thread count.
 
 #ifndef LDPR_BENCH_BENCH_COMMON_H_
 #define LDPR_BENCH_BENCH_COMMON_H_
@@ -17,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "sim/experiment.h"
@@ -42,6 +46,14 @@ void PrintBanner(const std::string& what);
 /// Builds the default experiment config (paper defaults: eps = 0.5,
 /// beta = 0.05, r = 10, eta = 0.2) with the bench trial count.
 ExperimentConfig DefaultConfig(ProtocolKind protocol, AttackKind attack);
+
+/// Runs every config against `dataset`, fanning the (config, trial)
+/// grid across the LDPR_THREADS worker pool: configurations run
+/// concurrently on the outer pool and each experiment's trials split
+/// whatever threads remain.  Results are returned in input order and
+/// are bit-identical to running each config serially.
+std::vector<ExperimentResult> RunConfigs(
+    const std::vector<ExperimentConfig>& configs, const Dataset& dataset);
 
 }  // namespace bench
 }  // namespace ldpr

@@ -18,6 +18,7 @@ void RunProtocol(const Dataset& dataset, ProtocolKind protocol) {
   TablePrinter table(std::string("Figure 10 (IPUMS, MUL-AA-") +
                          ProtocolKindName(protocol) + ", 5 attackers): MSE",
                      {"Before", "LDPRecover"});
+  std::vector<ExperimentConfig> configs;
   for (double beta : kBetas) {
     ExperimentConfig config =
         DefaultConfig(protocol, AttackKind::kMultiAdaptive);
@@ -25,10 +26,14 @@ void RunProtocol(const Dataset& dataset, ProtocolKind protocol) {
     config.pipeline.num_attackers = 5;
     config.run_detection = false;
     config.run_star = false;
-    const ExperimentResult r = RunExperiment(config, dataset);
+    configs.push_back(config);
+  }
+  const std::vector<ExperimentResult> results = RunConfigs(configs, dataset);
+  for (size_t i = 0; i < results.size(); ++i) {
     char row[32];
-    std::snprintf(row, sizeof(row), "beta=%g", beta);
-    table.AddRow(row, {r.mse_before.mean(), r.mse_recover.mean()});
+    std::snprintf(row, sizeof(row), "beta=%g", kBetas[i]);
+    table.AddRow(row,
+                 {results[i].mse_before.mean(), results[i].mse_recover.mean()});
   }
   table.Print();
 }

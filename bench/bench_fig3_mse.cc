@@ -33,9 +33,14 @@ void RunDataset(const Dataset& dataset, const char* label) {
   TablePrinter table(
       std::string("Figure 3 (") + label + "): MSE",
       {"Before", "Detection", "LDPRecover", "LDPRecover*"});
+  std::vector<ExperimentConfig> configs;
   for (const Cell& cell : kCells) {
-    ExperimentConfig config = DefaultConfig(cell.protocol, cell.attack);
-    const ExperimentResult r = RunExperiment(config, dataset);
+    configs.push_back(DefaultConfig(cell.protocol, cell.attack));
+  }
+  const std::vector<ExperimentResult> results = RunConfigs(configs, dataset);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Cell& cell = kCells[i];
+    const ExperimentResult& r = results[i];
     const std::string row = std::string(AttackKindName(cell.attack)) + "-" +
                             ProtocolKindName(cell.protocol);
     table.AddRow(row, {r.mse_before.mean(), r.mse_detection.mean(),

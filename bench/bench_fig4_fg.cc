@@ -3,6 +3,7 @@
 // LDPRecover*, for both datasets and all three protocols.
 
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "ldp/factory.h"
@@ -16,10 +17,14 @@ void RunDataset(const Dataset& dataset, const char* label) {
   TablePrinter table(
       std::string("Figure 4 (") + label + "): frequency gain under MGA",
       {"Before", "Detection", "LDPRecover", "LDPRecover*"});
+  std::vector<ExperimentConfig> configs;
   for (ProtocolKind protocol : kAllProtocolKinds) {
-    ExperimentConfig config = DefaultConfig(protocol, AttackKind::kMga);
-    const ExperimentResult r = RunExperiment(config, dataset);
-    table.AddRow(std::string("MGA-") + ProtocolKindName(protocol),
+    configs.push_back(DefaultConfig(protocol, AttackKind::kMga));
+  }
+  const std::vector<ExperimentResult> results = RunConfigs(configs, dataset);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow(std::string("MGA-") + ProtocolKindName(kAllProtocolKinds[i]),
                  {r.fg_before.mean(), r.fg_detection.mean(),
                   r.fg_recover.mean(), r.fg_recover_star.mean()});
   }

@@ -19,15 +19,19 @@ void RunProtocol(const Dataset& dataset, ProtocolKind protocol) {
                          ProtocolKindName(protocol) +
                          "): malicious frequency estimation MSE",
                      {"LDPRecover", "LDPRecover*"});
+  std::vector<ExperimentConfig> configs;
   for (double beta : kBetas) {
     ExperimentConfig config = DefaultConfig(protocol, AttackKind::kMga);
     config.run_detection = false;
     config.pipeline.beta = beta;
-    const ExperimentResult r = RunExperiment(config, dataset);
+    configs.push_back(config);
+  }
+  const std::vector<ExperimentResult> results = RunConfigs(configs, dataset);
+  for (size_t i = 0; i < results.size(); ++i) {
     char row[32];
-    std::snprintf(row, sizeof(row), "beta=%g", beta);
-    table.AddRow(row, {r.mse_malicious_recover.mean(),
-                       r.mse_malicious_recover_star.mean()});
+    std::snprintf(row, sizeof(row), "beta=%g", kBetas[i]);
+    table.AddRow(row, {results[i].mse_malicious_recover.mean(),
+                       results[i].mse_malicious_recover_star.mean()});
   }
   table.Print();
 }

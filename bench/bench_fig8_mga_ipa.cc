@@ -3,7 +3,9 @@
 // of the poisoned (unrecovered) estimate on IPUMS, sweeping beta.
 // The general attack should be orders of magnitude stronger.
 
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "ldp/factory.h"
@@ -20,20 +22,23 @@ void RunProtocol(const Dataset& dataset, ProtocolKind protocol) {
                          ProtocolKindName(protocol) +
                          "): poisoned-estimate MSE, MGA vs MGA-IPA",
                      {"MGA", "MGA-IPA"});
+  const AttackKind kinds[2] = {AttackKind::kMga, AttackKind::kMgaIpa};
+  std::vector<ExperimentConfig> configs;
   for (double beta : kBetas) {
-    double mse[2];
-    const AttackKind kinds[2] = {AttackKind::kMga, AttackKind::kMgaIpa};
-    for (int i = 0; i < 2; ++i) {
-      ExperimentConfig config = DefaultConfig(protocol, kinds[i]);
+    for (AttackKind kind : kinds) {
+      ExperimentConfig config = DefaultConfig(protocol, kind);
       config.pipeline.beta = beta;
       config.run_detection = false;
       config.run_star = false;
-      const ExperimentResult r = RunExperiment(config, dataset);
-      mse[i] = r.mse_before.mean();
+      configs.push_back(config);
     }
+  }
+  const std::vector<ExperimentResult> results = RunConfigs(configs, dataset);
+  for (size_t b = 0; b < std::size(kBetas); ++b) {
     char row[32];
-    std::snprintf(row, sizeof(row), "beta=%g", beta);
-    table.AddRow(row, {mse[0], mse[1]});
+    std::snprintf(row, sizeof(row), "beta=%g", kBetas[b]);
+    table.AddRow(row, {results[2 * b].mse_before.mean(),
+                       results[2 * b + 1].mse_before.mean()});
   }
   table.Print();
 }

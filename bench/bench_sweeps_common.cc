@@ -22,15 +22,26 @@ std::string Fmt(const char* name, double v) {
   return buf;
 }
 
-void RunOneSweep(const Dataset& dataset, const char* label,
-                 ProtocolKind protocol, const char* param) {
-  TablePrinter table(std::string("Fig 5/6 (") + label + ", AA-" +
-                         ProtocolKindName(protocol) + "): MSE vs " + param,
-                     {"Before", "LDPRecover", "LDPRecover*"});
-  auto run = [&](const ExperimentConfig& config, const std::string& row) {
-    const ExperimentResult r = RunExperiment(config, dataset);
-    table.AddRow(row, {r.mse_before.mean(), r.mse_recover.mean(),
-                       r.mse_recover_star.mean()});
+// One sweep = one printed table; the configs of every sweep are
+// collected first so RunConfigs can fan the whole grid over the
+// worker pool, then rows print in grid order.
+struct Sweep {
+  TablePrinter table;
+  std::vector<ExperimentConfig> configs;
+  std::vector<std::string> rows;
+};
+
+Sweep BuildSweep(const char* label, ProtocolKind protocol,
+                 const char* param) {
+  Sweep sweep{TablePrinter(std::string("Fig 5/6 (") + label + ", AA-" +
+                               ProtocolKindName(protocol) + "): MSE vs " +
+                               param,
+                           {"Before", "LDPRecover", "LDPRecover*"}),
+              {},
+              {}};
+  auto add = [&](const ExperimentConfig& config, const std::string& row) {
+    sweep.configs.push_back(config);
+    sweep.rows.push_back(row);
   };
 
   if (std::string(param) == "beta") {
@@ -38,33 +49,55 @@ void RunOneSweep(const Dataset& dataset, const char* label,
       ExperimentConfig config = DefaultConfig(protocol, AttackKind::kAdaptive);
       config.run_detection = false;
       config.pipeline.beta = beta;
-      run(config, Fmt("beta", beta));
+      add(config, Fmt("beta", beta));
     }
   } else if (std::string(param) == "epsilon") {
     for (double eps : kEpsilons) {
       ExperimentConfig config = DefaultConfig(protocol, AttackKind::kAdaptive);
       config.run_detection = false;
       config.epsilon = eps;
-      run(config, Fmt("eps", eps));
+      add(config, Fmt("eps", eps));
     }
   } else {
     for (double eta : kEtas) {
       ExperimentConfig config = DefaultConfig(protocol, AttackKind::kAdaptive);
       config.run_detection = false;
       config.eta = eta;
-      run(config, Fmt("eta", eta));
+      add(config, Fmt("eta", eta));
     }
   }
-  table.Print();
+  return sweep;
 }
 
 }  // namespace
 
 void RunAdaptiveAttackSweeps(const Dataset& dataset, const char* label) {
+  std::vector<Sweep> sweeps;
   for (ProtocolKind protocol : kAllProtocolKinds) {
-    RunOneSweep(dataset, label, protocol, "beta");
-    RunOneSweep(dataset, label, protocol, "epsilon");
-    RunOneSweep(dataset, label, protocol, "eta");
+    for (const char* param : {"beta", "epsilon", "eta"}) {
+      sweeps.push_back(BuildSweep(label, protocol, param));
+    }
+  }
+
+  // Flatten every sweep's grid into one batch so the pool sees all
+  // configurations at once, then scatter results back per table.
+  std::vector<ExperimentConfig> all_configs;
+  for (const Sweep& sweep : sweeps) {
+    all_configs.insert(all_configs.end(), sweep.configs.begin(),
+                       sweep.configs.end());
+  }
+  const std::vector<ExperimentResult> all_results =
+      RunConfigs(all_configs, dataset);
+
+  size_t next = 0;
+  for (Sweep& sweep : sweeps) {
+    for (size_t i = 0; i < sweep.configs.size(); ++i) {
+      const ExperimentResult& r = all_results[next++];
+      sweep.table.AddRow(sweep.rows[i],
+                         {r.mse_before.mean(), r.mse_recover.mean(),
+                          r.mse_recover_star.mean()});
+    }
+    sweep.table.Print();
   }
 }
 

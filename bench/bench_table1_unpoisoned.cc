@@ -22,11 +22,14 @@ void RunDataset(const Dataset& dataset, const char* label) {
       std::string("Table I (") + label +
           "): LDPRecover on unpoisoned frequencies",
       {"Before-Rec", "After-Rec"});
+  std::vector<ExperimentConfig> configs;
   for (ProtocolKind protocol : kAllProtocolKinds) {
-    ExperimentConfig config = DefaultConfig(protocol, AttackKind::kNone);
-    const ExperimentResult r = RunExperiment(config, dataset);
-    table.AddRow(ProtocolKindName(protocol),
-                 {r.mse_before.mean(), r.mse_recover.mean()});
+    configs.push_back(DefaultConfig(protocol, AttackKind::kNone));
+  }
+  const std::vector<ExperimentResult> results = RunConfigs(configs, dataset);
+  for (size_t i = 0; i < results.size(); ++i) {
+    table.AddRow(ProtocolKindName(kAllProtocolKinds[i]),
+                 {results[i].mse_before.mean(), results[i].mse_recover.mean()});
   }
   table.Print();
 }

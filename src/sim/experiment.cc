@@ -1,12 +1,14 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "ldp/factory.h"
 #include "recover/detection.h"
 #include "recover/ldprecover.h"
 #include "recover/outlier.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ldpr {
 
@@ -22,7 +24,117 @@ std::vector<ItemId> StarTargets(const ExperimentConfig& config,
   return TopFrequencyGainers(trial.genuine_freqs, trial.poisoned_freqs, k);
 }
 
+// The trial body, parameterized on a prebuilt protocol so the
+// parallel fan-out shares one immutable protocol instance across
+// workers instead of rebuilding hash families per trial.
+TrialMetrics RunTrialWithProtocol(const FrequencyProtocol& protocol,
+                                  const ExperimentConfig& config,
+                                  const Dataset& dataset,
+                                  uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  TrialMetrics out;
+
+  const TrialOutput t =
+      RunPoisoningTrial(protocol, config.pipeline, dataset, rng);
+  const bool attacked = t.m > 0;
+  const bool targeted = !t.attack_targets.empty();
+
+  out.mse_before = Mse(t.true_freqs, t.poisoned_freqs);
+  if (targeted) {
+    out.fg_before =
+        FrequencyGain(t.genuine_freqs, t.poisoned_freqs, t.attack_targets);
+  }
+
+  // LDPRecover (non-knowledge).
+  RecoverOptions base_opts;
+  base_opts.eta = config.eta;
+  base_opts.paper_literal_subdomain_sum = config.paper_literal_subdomain_sum;
+  const LdpRecover recover(protocol, base_opts);
+  const std::vector<double> recovered = recover.Recover(t.poisoned_freqs);
+  out.mse_recover = Mse(t.true_freqs, recovered);
+  if (targeted) {
+    out.fg_recover =
+        FrequencyGain(t.genuine_freqs, recovered, t.attack_targets);
+  }
+  if (attacked) {
+    out.mse_malicious_recover =
+        Mse(t.malicious_freqs,
+            recover.EstimateMaliciousFrequencies(t.poisoned_freqs));
+  }
+
+  // LDPRecover* (partial knowledge) and Detection share the
+  // attacker-selected item set.
+  if (attacked && (config.run_star || config.run_detection)) {
+    const std::vector<ItemId> star_targets = StarTargets(config, t);
+
+    if (config.run_star && !star_targets.empty() &&
+        star_targets.size() < dataset.domain_size()) {
+      RecoverOptions star_opts = base_opts;
+      star_opts.known_targets = star_targets;
+      const LdpRecover star(protocol, star_opts);
+      const std::vector<double> recovered_star = star.Recover(t.poisoned_freqs);
+      out.mse_recover_star = Mse(t.true_freqs, recovered_star);
+      if (targeted) {
+        out.fg_recover_star =
+            FrequencyGain(t.genuine_freqs, recovered_star, t.attack_targets);
+      }
+      out.mse_malicious_recover_star =
+          Mse(t.malicious_freqs,
+              star.EstimateMaliciousFrequencies(t.poisoned_freqs));
+    }
+
+    if (config.run_detection && !star_targets.empty()) {
+      DetectionFilter filter(protocol, star_targets);
+      // Genuine reports are re-drawn for the filtered aggregate;
+      // detection metrics are averaged across trials, so using an
+      // independent realization of the genuine randomness is
+      // statistically equivalent (see DESIGN.md).
+      if (config.pipeline.exact_genuine) {
+        for (ItemId item = 0; item < dataset.item_counts.size(); ++item) {
+          for (uint64_t u = 0; u < dataset.item_counts[item]; ++u)
+            filter.Offer(protocol.Perturb(item, rng));
+        }
+      } else {
+        filter.OfferSampledGenuine(dataset.item_counts, rng);
+      }
+      filter.OfferAll(t.malicious_reports);
+      if (filter.kept() > 0) {
+        const std::vector<double> detected = filter.Estimate();
+        out.mse_detection = Mse(t.true_freqs, detected);
+        if (targeted) {
+          out.fg_detection =
+              FrequencyGain(t.genuine_freqs, detected, t.attack_targets);
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+TrialMetrics RunSingleTrial(const ExperimentConfig& config,
+                            const Dataset& dataset, uint64_t trial_seed) {
+  const std::unique_ptr<FrequencyProtocol> protocol =
+      MakeProtocol(config.protocol, dataset.domain_size(), config.epsilon);
+  return RunTrialWithProtocol(*protocol, config, dataset, trial_seed);
+}
+
+void MergeTrialMetrics(const TrialMetrics& trial, ExperimentResult& result) {
+  const auto add = [](const std::optional<double>& value, RunningStat& stat) {
+    if (value.has_value()) stat.Add(*value);
+  };
+  add(trial.mse_before, result.mse_before);
+  add(trial.mse_recover, result.mse_recover);
+  add(trial.mse_recover_star, result.mse_recover_star);
+  add(trial.mse_detection, result.mse_detection);
+  add(trial.fg_before, result.fg_before);
+  add(trial.fg_recover, result.fg_recover);
+  add(trial.fg_recover_star, result.fg_recover_star);
+  add(trial.fg_detection, result.fg_detection);
+  add(trial.mse_malicious_recover, result.mse_malicious_recover);
+  add(trial.mse_malicious_recover_star, result.mse_malicious_recover_star);
+}
 
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                const Dataset& dataset) {
@@ -30,86 +142,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   const std::unique_ptr<FrequencyProtocol> protocol =
       MakeProtocol(config.protocol, dataset.domain_size(), config.epsilon);
 
+  // Every trial runs on its own counter-derived RNG stream, writes
+  // its own slot, and the slots merge in trial order below — so the
+  // result is bit-identical no matter how trials land on workers.
+  std::vector<TrialMetrics> trials(config.trials);
+  ParallelFor(config.threads, config.trials, [&](size_t trial) {
+    trials[trial] = RunTrialWithProtocol(*protocol, config, dataset,
+                                         DeriveSeed(config.seed, trial));
+  });
+
   ExperimentResult result;
-  Rng rng(config.seed);
-
-  for (size_t trial = 0; trial < config.trials; ++trial) {
-    const TrialOutput t =
-        RunPoisoningTrial(*protocol, config.pipeline, dataset, rng);
-    const bool attacked = t.m > 0;
-    const bool targeted = !t.attack_targets.empty();
-
-    result.mse_before.Add(Mse(t.true_freqs, t.poisoned_freqs));
-    if (targeted) {
-      result.fg_before.Add(FrequencyGain(t.genuine_freqs, t.poisoned_freqs,
-                                         t.attack_targets));
-    }
-
-    // LDPRecover (non-knowledge).
-    RecoverOptions base_opts;
-    base_opts.eta = config.eta;
-    base_opts.paper_literal_subdomain_sum = config.paper_literal_subdomain_sum;
-    const LdpRecover recover(*protocol, base_opts);
-    const std::vector<double> recovered = recover.Recover(t.poisoned_freqs);
-    result.mse_recover.Add(Mse(t.true_freqs, recovered));
-    if (targeted) {
-      result.fg_recover.Add(
-          FrequencyGain(t.genuine_freqs, recovered, t.attack_targets));
-    }
-    if (attacked) {
-      result.mse_malicious_recover.Add(
-          Mse(t.malicious_freqs,
-              recover.EstimateMaliciousFrequencies(t.poisoned_freqs)));
-    }
-
-    // LDPRecover* (partial knowledge) and Detection share the
-    // attacker-selected item set.
-    if (attacked && (config.run_star || config.run_detection)) {
-      const std::vector<ItemId> star_targets = StarTargets(config, t);
-
-      if (config.run_star && !star_targets.empty() &&
-          star_targets.size() < dataset.domain_size()) {
-        RecoverOptions star_opts = base_opts;
-        star_opts.known_targets = star_targets;
-        const LdpRecover star(*protocol, star_opts);
-        const std::vector<double> recovered_star =
-            star.Recover(t.poisoned_freqs);
-        result.mse_recover_star.Add(Mse(t.true_freqs, recovered_star));
-        if (targeted) {
-          result.fg_recover_star.Add(FrequencyGain(
-              t.genuine_freqs, recovered_star, t.attack_targets));
-        }
-        result.mse_malicious_recover_star.Add(
-            Mse(t.malicious_freqs,
-                star.EstimateMaliciousFrequencies(t.poisoned_freqs)));
-      }
-
-      if (config.run_detection && !star_targets.empty()) {
-        DetectionFilter filter(*protocol, star_targets);
-        // Genuine reports are re-drawn for the filtered aggregate;
-        // detection metrics are averaged across trials, so using an
-        // independent realization of the genuine randomness is
-        // statistically equivalent (see DESIGN.md).
-        if (config.pipeline.exact_genuine) {
-          for (ItemId item = 0; item < dataset.item_counts.size(); ++item) {
-            for (uint64_t u = 0; u < dataset.item_counts[item]; ++u)
-              filter.Offer(protocol->Perturb(item, rng));
-          }
-        } else {
-          filter.OfferSampledGenuine(dataset.item_counts, rng);
-        }
-        filter.OfferAll(t.malicious_reports);
-        if (filter.kept() > 0) {
-          const std::vector<double> detected = filter.Estimate();
-          result.mse_detection.Add(Mse(t.true_freqs, detected));
-          if (targeted) {
-            result.fg_detection.Add(
-                FrequencyGain(t.genuine_freqs, detected, t.attack_targets));
-          }
-        }
-      }
-    }
-  }
+  for (const TrialMetrics& trial : trials) MergeTrialMetrics(trial, result);
   return result;
 }
 

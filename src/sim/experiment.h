@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 #include "data/dataset.h"
 #include "sim/pipeline.h"
@@ -41,6 +42,27 @@ struct ExperimentConfig {
   /// Reproduce the paper's literal Eq. (28); see
   /// recover/malicious_stats.h.
   bool paper_literal_subdomain_sum = false;
+  /// Worker threads for the trial fan-out: 0 = auto (LDPR_THREADS or
+  /// hardware concurrency), 1 = serial.  Results are bit-identical at
+  /// every thread count: each trial runs on its own counter-derived
+  /// RNG stream and trial metrics are merged in trial order.
+  size_t threads = 0;
+};
+
+/// The metrics one trial contributes to the averages.  An unset field
+/// means the trial did not produce that metric (e.g. FG without a
+/// target set, Detection disabled).
+struct TrialMetrics {
+  std::optional<double> mse_before;
+  std::optional<double> mse_recover;
+  std::optional<double> mse_recover_star;
+  std::optional<double> mse_detection;
+  std::optional<double> fg_before;
+  std::optional<double> fg_recover;
+  std::optional<double> fg_recover_star;
+  std::optional<double> fg_detection;
+  std::optional<double> mse_malicious_recover;
+  std::optional<double> mse_malicious_recover_star;
 };
 
 /// Averaged metrics over the configured trials.  FG statistics are
@@ -60,7 +82,21 @@ struct ExperimentResult {
   RunningStat mse_malicious_recover_star;
 };
 
-/// Runs the experiment.  Deterministic in config.seed.
+/// Runs one trial end to end — poisoning, recovery, detection — on a
+/// fresh Rng(trial_seed).  Pure in (config, dataset, trial_seed):
+/// same inputs, same metrics, regardless of what else is running.
+/// `config.trials` and `config.threads` are ignored here; the trial
+/// fan-out lives in RunExperiment.
+TrialMetrics RunSingleTrial(const ExperimentConfig& config,
+                            const Dataset& dataset, uint64_t trial_seed);
+
+/// Folds one trial's metrics into the running averages.
+void MergeTrialMetrics(const TrialMetrics& trial, ExperimentResult& result);
+
+/// Runs config.trials trials across config.threads workers (0 =
+/// auto).  Deterministic in config.seed alone: trial t runs on
+/// Rng(DeriveSeed(config.seed, t)) and results merge in trial order,
+/// so the output is bit-identical at any thread count.
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                const Dataset& dataset);
 

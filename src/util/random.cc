@@ -232,4 +232,15 @@ std::vector<uint32_t> SampleWithoutReplacement(size_t d, size_t k, Rng& rng) {
   return pool;
 }
 
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  // Round 1 decorrelates the user seed; round 2 folds the stream
+  // counter in through an odd-multiplier injection so that adjacent
+  // streams land in unrelated parts of the SplitMix64 orbit.
+  SplitMix64 outer(seed);
+  const uint64_t mixed_seed = outer.Next();
+  SplitMix64 inner(mixed_seed ^
+                   (stream * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL));
+  return inner.Next();
+}
+
 }  // namespace ldpr

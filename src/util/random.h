@@ -143,6 +143,16 @@ std::vector<double> SampleRandomDistribution(size_t d, Rng& rng);
 /// (partial Fisher-Yates).  Requires k <= d.
 std::vector<uint32_t> SampleWithoutReplacement(size_t d, size_t k, Rng& rng);
 
+/// Counter-based seed derivation: collapses (seed, stream) into one
+/// well-mixed 64-bit seed via two SplitMix64 rounds, in O(1).
+///
+/// This is how the parallel experiment engine gives every trial its
+/// own statistically independent RNG stream: trial t of an
+/// experiment seeded with s runs on Rng(DeriveSeed(s, t)).  Because
+/// the derivation depends only on (s, t) — never on execution order —
+/// results are bit-identical at any thread count.
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace ldpr
 
 #endif  // LDPR_UTIL_RANDOM_H_

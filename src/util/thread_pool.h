@@ -1,0 +1,92 @@
+// Fixed-size worker thread pool and the ParallelFor helper that the
+// experiment engine and the figure benches schedule work on.
+//
+// Design notes:
+//
+//  - The pool is a plain task queue: Submit() enqueues a closure,
+//    Wait() blocks until every submitted closure has finished.  The
+//    destructor drains the queue before joining, so a pool can be
+//    used fire-and-forget.
+//
+//  - ParallelFor(threads, n, fn) runs fn(0) ... fn(n-1) with dynamic
+//    (work-stealing counter) scheduling.  Callers own determinism:
+//    every index must write only its own output slot, and any
+//    randomness must be derived from the index (see DeriveSeed in
+//    util/random.h), never from execution order.  Under that
+//    contract results are bit-identical at any thread count,
+//    including the serial threads <= 1 fast path.
+//
+//  - The first exception thrown by any index is captured and
+//    rethrown on the calling thread after all workers finish.
+//
+// Thread count resolution: an explicit count wins; 0 means "auto",
+// which honors the LDPR_THREADS environment variable and falls back
+// to std::thread::hardware_concurrency().
+
+#ifndef LDPR_UTIL_THREAD_POOL_H_
+#define LDPR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ldpr {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task.  Tasks must not throw — an exception escapes
+  /// the worker thread and terminates the process; use ParallelFor
+  /// for exception propagation.  Tasks must not Submit() to the same
+  /// pool and then Wait() on it from inside a task (deadlock).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(begin) ... fn(end-1) across the pool's workers and
+  /// blocks until all indices are done.  Rethrows the first
+  /// exception any index threw.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // signals workers: task or stop
+  std::condition_variable idle_cv_;  // signals Wait(): all drained
+  size_t in_flight_ = 0;             // queued + currently running
+  bool stop_ = false;
+};
+
+/// LDPR_THREADS if set (clamped to >= 1), else hardware concurrency,
+/// else 1.  This is the pool size every "0 = auto" caller gets.
+size_t DefaultThreadCount();
+
+/// One-shot parallel loop: runs fn(0) ... fn(n-1) on `num_threads`
+/// workers (0 = DefaultThreadCount()).  Runs inline without spawning
+/// threads when num_threads <= 1 or n <= 1.  Blocks until done and
+/// rethrows the first exception.
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace ldpr
+
+#endif  // LDPR_UTIL_THREAD_POOL_H_

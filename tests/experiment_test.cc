@@ -22,6 +22,59 @@ TEST(ExperimentTest, DeterministicInSeed) {
   EXPECT_DOUBLE_EQ(a.mse_recover.mean(), b.mse_recover.mean());
 }
 
+// The parallel engine's core guarantee: every trial runs on its own
+// counter-derived RNG stream and metrics merge in trial order, so the
+// result is bit-identical at any thread count.
+TEST(ExperimentTest, BitIdenticalAcrossThreadCounts) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kOue;
+  config.pipeline.attack = AttackKind::kMga;
+  config.trials = 8;
+  config.seed = 123;
+  const Dataset ds = SmallDataset();
+
+  config.threads = 1;
+  const ExperimentResult serial = RunExperiment(config, ds);
+  for (size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const ExperimentResult parallel = RunExperiment(config, ds);
+    const auto expect_same = [threads](const RunningStat& a,
+                                       const RunningStat& b) {
+      EXPECT_EQ(a.count(), b.count()) << "threads=" << threads;
+      EXPECT_EQ(a.mean(), b.mean()) << "threads=" << threads;
+      EXPECT_EQ(a.variance(), b.variance()) << "threads=" << threads;
+    };
+    expect_same(serial.mse_before, parallel.mse_before);
+    expect_same(serial.mse_recover, parallel.mse_recover);
+    expect_same(serial.mse_recover_star, parallel.mse_recover_star);
+    expect_same(serial.mse_detection, parallel.mse_detection);
+    expect_same(serial.fg_before, parallel.fg_before);
+    expect_same(serial.fg_recover, parallel.fg_recover);
+    expect_same(serial.fg_recover_star, parallel.fg_recover_star);
+    expect_same(serial.fg_detection, parallel.fg_detection);
+    expect_same(serial.mse_malicious_recover, parallel.mse_malicious_recover);
+    expect_same(serial.mse_malicious_recover_star,
+                parallel.mse_malicious_recover_star);
+  }
+}
+
+// RunSingleTrial is the pure per-trial unit RunExperiment schedules:
+// trial t of seed s must reproduce exactly from DeriveSeed(s, t).
+TEST(ExperimentTest, SingleTrialMatchesExperimentStream) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kGrr;
+  config.pipeline.attack = AttackKind::kMga;
+  config.trials = 1;
+  config.seed = 99;
+  const Dataset ds = SmallDataset();
+  const ExperimentResult r = RunExperiment(config, ds);
+  const TrialMetrics t = RunSingleTrial(config, ds, DeriveSeed(config.seed, 0));
+  ASSERT_TRUE(t.mse_before.has_value());
+  ASSERT_TRUE(t.mse_recover.has_value());
+  EXPECT_EQ(r.mse_before.mean(), *t.mse_before);
+  EXPECT_EQ(r.mse_recover.mean(), *t.mse_recover);
+}
+
 TEST(ExperimentTest, DifferentSeedsDiffer) {
   ExperimentConfig config;
   config.pipeline.attack = AttackKind::kAdaptive;

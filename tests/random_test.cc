@@ -151,7 +151,9 @@ TEST(ZipfSamplerTest, ProbabilitiesDecreaseAndSumToOne) {
   double total = 0.0;
   for (size_t i = 0; i < z.size(); ++i) {
     total += z.probability(i);
-    if (i > 0) EXPECT_LT(z.probability(i), z.probability(i - 1));
+    if (i > 0) {
+      EXPECT_LT(z.probability(i), z.probability(i - 1));
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-12);
 }

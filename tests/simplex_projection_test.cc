@@ -53,7 +53,9 @@ TEST(SimplexProjectionTest, PreservesOrdering) {
   const auto out = ProjectToSimplexKkt(v);
   for (size_t i = 0; i < v.size(); ++i) {
     for (size_t j = 0; j < v.size(); ++j) {
-      if (v[i] < v[j]) EXPECT_LE(out[i], out[j] + 1e-12);
+      if (v[i] < v[j]) {
+        EXPECT_LE(out[i], out[j] + 1e-12);
+      }
     }
   }
 }

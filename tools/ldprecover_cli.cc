@@ -17,7 +17,9 @@
 // (ipums|fire|zipf|uniform), --csv FILE, --d [102], --n [100000],
 // --zipf_s [1.0], --epsilon [0.5], --beta [0.05], --eta [0.2],
 // --targets [10], --trials [5], --seed [1], --scale [1.0],
-// --top_k [10], --out CSV (append machine-readable results).
+// --top_k [10], --threads [0 = auto: LDPR_THREADS or hardware
+// concurrency; 1 = serial], --out CSV (append machine-readable
+// results).  Results are bit-identical at any --threads value.
 
 #include <cstdio>
 #include <string>
@@ -88,6 +90,7 @@ int Run(int argc, char** argv) {
   const auto seed = flags.GetInt("seed", 1);
   const auto scale = flags.GetDouble("scale", 1.0);
   const auto top_k = flags.GetInt("top_k", 10);
+  const auto threads = flags.GetInt("threads", 0);
   const std::string out_csv = flags.GetString("out", "");
 
   for (const Status& status :
@@ -101,7 +104,8 @@ int Run(int argc, char** argv) {
         trials.ok() ? Status::Ok() : trials.status(),
         seed.ok() ? Status::Ok() : seed.status(),
         scale.ok() ? Status::Ok() : scale.status(),
-        top_k.ok() ? Status::Ok() : top_k.status()}) {
+        top_k.ok() ? Status::Ok() : top_k.status(),
+        threads.ok() ? Status::Ok() : threads.status()}) {
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
@@ -121,6 +125,7 @@ int Run(int argc, char** argv) {
   config.eta = *eta;
   config.trials = static_cast<size_t>(*trials);
   config.seed = static_cast<uint64_t>(*seed);
+  config.threads = *threads < 0 ? 0 : static_cast<size_t>(*threads);
 
   const Dataset dataset = ScaleDataset(*dataset_or, *scale);
   std::printf("ldprecover_cli: %s under %s on %s (d=%zu, n=%llu), eps=%g, "
