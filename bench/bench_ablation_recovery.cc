@@ -8,8 +8,16 @@
 //   ClipRenorm    clamp negatives + multiplicative renormalization
 //                 (the standard post-processing baseline);
 //   NormSub       KKT projection of the poisoned estimate directly.
+//
+// The (cell x trial) grid fans out across LDPR_THREADS: trial t of
+// cell c runs on Rng(DeriveSeed(kSeed, c * Trials() + t)) and the
+// per-trial MSEs merge in trial order, so the table is byte-identical
+// at any thread count.
 
+#include <iterator>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "ldp/factory.h"
@@ -23,38 +31,38 @@ namespace ldpr {
 namespace bench {
 namespace {
 
-void RunCell(const Dataset& dataset, ProtocolKind kind, AttackKind attack,
-             TablePrinter& table) {
-  const auto protocol = MakeProtocol(kind, dataset.domain_size(), 0.5);
-  PipelineConfig pconfig;
-  pconfig.attack = attack;
-  pconfig.beta = 0.05;
+constexpr uint64_t kSeed = 20240213;
 
+struct CellSpec {
+  AttackKind attack;
+  ProtocolKind kind;
+};
+
+struct TrialRow {
+  double before = 0, full = 0, nosub = 0, norefine = 0, clip = 0, normsub = 0;
+};
+
+TrialRow RunOneTrial(const FrequencyProtocol& protocol, const Dataset& dataset,
+                     const PipelineConfig& pconfig, uint64_t trial_seed) {
   RecoverOptions full;
   RecoverOptions no_sub;
   no_sub.ablate_no_subtraction = true;
   RecoverOptions no_refine;
   no_refine.ablate_no_refinement = true;
 
-  Rng rng(20240213);
-  RunningStat before, v_full, v_nosub, v_norefine, v_clip, v_normsub;
-  for (size_t trial = 0; trial < Trials(); ++trial) {
-    const TrialOutput t = RunPoisoningTrial(*protocol, pconfig, dataset, rng);
-    before.Add(Mse(t.true_freqs, t.poisoned_freqs));
-    v_full.Add(Mse(t.true_freqs,
-                   LdpRecover(*protocol, full).Recover(t.poisoned_freqs)));
-    v_nosub.Add(Mse(t.true_freqs,
-                    LdpRecover(*protocol, no_sub).Recover(t.poisoned_freqs)));
-    v_norefine.Add(
-        Mse(t.true_freqs,
-            LdpRecover(*protocol, no_refine).Recover(t.poisoned_freqs)));
-    v_clip.Add(Mse(t.true_freqs, ClipAndRenormalize(t.poisoned_freqs)));
-    v_normsub.Add(Mse(t.true_freqs, NormSub(t.poisoned_freqs)));
-  }
-  const std::string row =
-      std::string(AttackKindName(attack)) + "-" + ProtocolKindName(kind);
-  table.AddRow(row, {before.mean(), v_full.mean(), v_nosub.mean(),
-                     v_norefine.mean(), v_clip.mean(), v_normsub.mean()});
+  Rng rng(trial_seed);
+  const TrialOutput t = RunPoisoningTrial(protocol, pconfig, dataset, rng);
+  TrialRow row;
+  row.before = Mse(t.true_freqs, t.poisoned_freqs);
+  row.full =
+      Mse(t.true_freqs, LdpRecover(protocol, full).Recover(t.poisoned_freqs));
+  row.nosub =
+      Mse(t.true_freqs, LdpRecover(protocol, no_sub).Recover(t.poisoned_freqs));
+  row.norefine = Mse(t.true_freqs,
+                     LdpRecover(protocol, no_refine).Recover(t.poisoned_freqs));
+  row.clip = Mse(t.true_freqs, ClipAndRenormalize(t.poisoned_freqs));
+  row.normsub = Mse(t.true_freqs, NormSub(t.poisoned_freqs));
+  return row;
 }
 
 }  // namespace
@@ -66,13 +74,47 @@ int main() {
   using namespace ldpr::bench;
   PrintBanner("bench_ablation_recovery: LDPRecover component ablation (MSE)");
   const Dataset ipums = BenchIpums();
+
+  std::vector<CellSpec> cells;
+  for (AttackKind attack : {AttackKind::kMga, AttackKind::kAdaptive}) {
+    for (ProtocolKind kind : kAllProtocolKinds) cells.push_back({attack, kind});
+  }
+  std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
+  for (const CellSpec& cell : cells)
+    protocols.push_back(MakeProtocol(cell.kind, ipums.domain_size(), 0.5));
+
+  const size_t trials = Trials();
+  const std::vector<TrialRow> rows = RunTrialGrid<TrialRow>(
+      cells.size(), trials, kSeed,
+      [&](size_t cell, size_t shards, uint64_t trial_seed) {
+        PipelineConfig config;
+        config.attack = cells[cell].attack;
+        config.beta = 0.05;
+        config.shards = shards;
+        return RunOneTrial(*protocols[cell], ipums, config, trial_seed);
+      });
+
   TablePrinter table("Ablation (IPUMS): MSE",
                      {"Before", "Full", "NoSubtract", "NoRefine", "ClipRenorm",
                       "NormSub"});
-  for (AttackKind attack : {AttackKind::kMga, AttackKind::kAdaptive}) {
-    for (ProtocolKind kind : kAllProtocolKinds)
-      RunCell(ipums, kind, attack, table);
-    table.AddSeparator();
+  for (size_t cell = 0; cell < cells.size(); ++cell) {
+    RunningStat before, full, nosub, norefine, clip, normsub;
+    for (size_t t = 0; t < trials; ++t) {
+      const TrialRow& row = rows[cell * trials + t];
+      before.Add(row.before);
+      full.Add(row.full);
+      nosub.Add(row.nosub);
+      norefine.Add(row.norefine);
+      clip.Add(row.clip);
+      normsub.Add(row.normsub);
+    }
+    const std::string name = std::string(AttackKindName(cells[cell].attack)) +
+                             "-" + ProtocolKindName(cells[cell].kind);
+    table.AddRow(name, {before.mean(), full.mean(), nosub.mean(),
+                        norefine.mean(), clip.mean(), normsub.mean()});
+    if ((cell + 1) % std::size(kAllProtocolKinds) == 0 &&
+        cell + 1 < cells.size())
+      table.AddSeparator();
   }
   table.Print();
   return 0;

@@ -1,6 +1,5 @@
 #include "bench_common.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -58,22 +57,20 @@ ExperimentConfig DefaultConfig(ProtocolKind protocol, AttackKind attack) {
 
 std::vector<ExperimentResult> RunConfigs(
     const std::vector<ExperimentConfig>& configs, const Dataset& dataset) {
-  const size_t threads = DefaultThreadCount();
   // Split the pool between the configuration fan-out and each
-  // experiment's own trial fan-out so the total stays near
-  // LDPR_THREADS even when there are few configs; the remainder of
-  // the division goes to the first configs so no worker sits idle
-  // (results don't depend on thread counts, so this stays
-  // deterministic).
-  const size_t outer =
-      std::max<size_t>(1, std::min(threads, configs.size()));
-  const size_t inner = std::max<size_t>(1, threads / outer);
-  const size_t remainder = threads > inner * outer ? threads - inner * outer : 0;
+  // experiment's own trial fan-out (the shared SplitThreadBudget
+  // policy); the remainder of the division goes to the first configs
+  // so no worker sits idle (results don't depend on thread counts,
+  // so this stays deterministic).
+  const size_t threads = DefaultThreadCount();
+  const ThreadBudget budget = SplitThreadBudget(threads, configs.size());
+  const size_t used = budget.inner * budget.outer;
+  const size_t remainder = threads > used ? threads - used : 0;
 
   std::vector<ExperimentResult> results(configs.size());
-  ParallelFor(outer, configs.size(), [&](size_t i) {
+  ParallelFor(budget.outer, configs.size(), [&](size_t i) {
     ExperimentConfig config = configs[i];
-    config.threads = inner + (i < remainder ? 1 : 0);
+    config.threads = budget.inner + (i < remainder ? 1 : 0);
     results[i] = RunExperiment(config, dataset);
   });
   return results;

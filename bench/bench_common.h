@@ -24,6 +24,8 @@
 
 #include "data/dataset.h"
 #include "sim/experiment.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace ldpr {
 namespace bench {
@@ -54,6 +56,25 @@ ExperimentConfig DefaultConfig(ProtocolKind protocol, AttackKind attack);
 /// are bit-identical to running each config serially.
 std::vector<ExperimentResult> RunConfigs(
     const std::vector<ExperimentConfig>& configs, const Dataset& dataset);
+
+/// Runs the (cell x trial) grid of a bespoke bench across the
+/// LDPR_THREADS budget: flat index i = cell * trials + trial runs
+/// fn(cell, shards, DeriveSeed(seed, i)) on the budgeted outer
+/// fan-out (SplitThreadBudget in util/thread_pool.h), where `shards`
+/// is each trial's within-trial aggregation share.  Rows come back
+/// in flat order, so merging them per cell in trial order keeps
+/// bench output byte-identical at any thread count.
+template <typename Row, typename TrialFn>
+std::vector<Row> RunTrialGrid(size_t cells, size_t trials, uint64_t seed,
+                              const TrialFn& fn) {
+  const size_t total = cells * trials;
+  const ThreadBudget budget = SplitThreadBudget(0, total);
+  std::vector<Row> rows(total);
+  ParallelFor(budget.outer, total, [&](size_t i) {
+    rows[i] = fn(i / trials, budget.inner, DeriveSeed(seed, i));
+  });
+  return rows;
+}
 
 }  // namespace bench
 }  // namespace ldpr

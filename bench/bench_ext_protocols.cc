@@ -3,8 +3,15 @@
 // OLH plus the SUE and BLH extensions — under MGA and AA, reported
 // both as MSE and at the task level (how many attacker targets
 // survive in the published top-10 ranking).
+//
+// The (cell x trial) grid fans out across LDPR_THREADS on
+// counter-derived per-trial seeds, with per-trial metrics merged in
+// trial order — byte-identical output at any thread count.
 
+#include <iterator>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "ldp/factory.h"
@@ -18,36 +25,39 @@ namespace ldpr {
 namespace bench {
 namespace {
 
-void RunCell(const Dataset& dataset, ProtocolKind kind, AttackKind attack,
-             TablePrinter& table) {
-  const auto protocol = MakeProtocol(kind, dataset.domain_size(), 0.5);
-  PipelineConfig pconfig;
-  pconfig.attack = attack;
-  pconfig.beta = 0.05;
+constexpr uint64_t kSeed = 20240213;
 
-  Rng rng(20240213);
-  RunningStat mse_before, mse_after, hits_before, hits_after;
-  for (size_t trial = 0; trial < Trials(); ++trial) {
-    const TrialOutput t = RunPoisoningTrial(*protocol, pconfig, dataset, rng);
-    RecoverOptions opts;
-    if (!t.attack_targets.empty()) opts.known_targets = t.attack_targets;
-    const LdpRecover recover(*protocol, opts);
-    const auto recovered = recover.Recover(t.poisoned_freqs);
-    mse_before.Add(Mse(t.true_freqs, t.poisoned_freqs));
-    mse_after.Add(Mse(t.true_freqs, recovered));
-    if (!t.attack_targets.empty()) {
-      hits_before.Add(static_cast<double>(
-          CountInTopK(t.poisoned_freqs, t.attack_targets, 10)));
-      hits_after.Add(
-          static_cast<double>(CountInTopK(recovered, t.attack_targets, 10)));
-    }
+struct CellSpec {
+  AttackKind attack;
+  ProtocolKind kind;
+};
+
+struct TrialRow {
+  double mse_before = 0, mse_after = 0;
+  double hits_before = 0, hits_after = 0;
+  bool targeted = false;
+};
+
+TrialRow RunOneTrial(const FrequencyProtocol& protocol, const Dataset& dataset,
+                     const PipelineConfig& pconfig, uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  const TrialOutput t = RunPoisoningTrial(protocol, pconfig, dataset, rng);
+  RecoverOptions opts;
+  if (!t.attack_targets.empty()) opts.known_targets = t.attack_targets;
+  const LdpRecover recover(protocol, opts);
+  const auto recovered = recover.Recover(t.poisoned_freqs);
+
+  TrialRow row;
+  row.mse_before = Mse(t.true_freqs, t.poisoned_freqs);
+  row.mse_after = Mse(t.true_freqs, recovered);
+  if (!t.attack_targets.empty()) {
+    row.targeted = true;
+    row.hits_before = static_cast<double>(
+        CountInTopK(t.poisoned_freqs, t.attack_targets, 10));
+    row.hits_after =
+        static_cast<double>(CountInTopK(recovered, t.attack_targets, 10));
   }
-  const std::string row =
-      std::string(AttackKindName(attack)) + "-" + ProtocolKindName(kind);
-  table.AddRow(row,
-               {mse_before.mean(), mse_after.mean(),
-                hits_before.count() ? hits_before.mean() : 0.0,
-                hits_after.count() ? hits_after.mean() : 0.0});
+  return row;
 }
 
 }  // namespace
@@ -61,13 +71,50 @@ int main() {
       "bench_ext_protocols: recovery across all five protocols "
       "(GRR/OUE/OLH + SUE/BLH)");
   const Dataset ipums = BenchIpums();
-  TablePrinter table("Extended protocols (IPUMS): MSE and targets in top-10",
-                     {"MSE before", "MSE after", "top10 before",
-                      "top10 after"});
+
+  std::vector<CellSpec> cells;
   for (AttackKind attack : {AttackKind::kMga, AttackKind::kAdaptive}) {
     for (ProtocolKind kind : kExtendedProtocolKinds)
-      RunCell(ipums, kind, attack, table);
-    table.AddSeparator();
+      cells.push_back({attack, kind});
+  }
+  std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
+  for (const CellSpec& cell : cells)
+    protocols.push_back(MakeProtocol(cell.kind, ipums.domain_size(), 0.5));
+
+  const size_t trials = Trials();
+  const std::vector<TrialRow> rows = RunTrialGrid<TrialRow>(
+      cells.size(), trials, kSeed,
+      [&](size_t cell, size_t shards, uint64_t trial_seed) {
+        PipelineConfig config;
+        config.attack = cells[cell].attack;
+        config.beta = 0.05;
+        config.shards = shards;
+        return RunOneTrial(*protocols[cell], ipums, config, trial_seed);
+      });
+
+  TablePrinter table(
+      "Extended protocols (IPUMS): MSE and targets in top-10",
+      {"MSE before", "MSE after", "top10 before", "top10 after"});
+  const size_t per_attack = std::size(kExtendedProtocolKinds);
+  for (size_t cell = 0; cell < cells.size(); ++cell) {
+    RunningStat mse_before, mse_after, hits_before, hits_after;
+    for (size_t t = 0; t < trials; ++t) {
+      const TrialRow& row = rows[cell * trials + t];
+      mse_before.Add(row.mse_before);
+      mse_after.Add(row.mse_after);
+      if (row.targeted) {
+        hits_before.Add(row.hits_before);
+        hits_after.Add(row.hits_after);
+      }
+    }
+    const std::string name = std::string(AttackKindName(cells[cell].attack)) +
+                             "-" + ProtocolKindName(cells[cell].kind);
+    table.AddRow(name,
+                 {mse_before.mean(), mse_after.mean(),
+                  hits_before.count() ? hits_before.mean() : 0.0,
+                  hits_after.count() ? hits_after.mean() : 0.0});
+    if ((cell + 1) % per_attack == 0 && cell + 1 < cells.size())
+      table.AddSeparator();
   }
   table.Print();
   return 0;

@@ -5,8 +5,17 @@
 // Note: the paper sweeps xi up to 0.9 with bootstrap subsets; this
 // implementation partitions users into 1/xi disjoint subsets (see
 // recover/kmeans_defense.h), so xi is capped at 0.5 (two subsets).
+//
+// The (xi x trial) grid of each protocol fans out across
+// LDPR_THREADS on counter-derived per-trial seeds; per-trial MSEs
+// merge in trial order and the full poisoned report set aggregates
+// through Aggregator::AddAllSharded, so output is byte-identical at
+// any thread count.
 
+#include <cstdio>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -20,53 +29,79 @@ namespace ldpr {
 namespace bench {
 namespace {
 
+constexpr uint64_t kSeed = 20240213;
+
 const double kXis[] = {0.1, 0.2, 0.3, 0.5};
 
-void RunProtocol(const Dataset& dataset, ProtocolKind kind) {
+struct TrialRow {
+  double before = 0, kmeans_alone = 0, km = 0;
+};
+
+TrialRow RunOneTrial(const FrequencyProtocol& protocol, const Dataset& dataset,
+                     const std::vector<double>& truth, double xi,
+                     size_t shards, uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  // Materialize the full IPA-poisoned report set: genuine users
+  // perturb honestly, malicious users perturb attacker-chosen inputs
+  // honestly (beta = 0.05 default).
+  PipelineConfig pconfig;
+  pconfig.attack = AttackKind::kMgaIpa;
+  pconfig.beta = 0.05;
+  const size_t m = MaliciousUserCount(pconfig.beta, dataset.num_users());
+
+  std::vector<Report> reports;
+  reports.reserve(dataset.num_users() + m);
+  for (ItemId item = 0; item < dataset.domain_size(); ++item) {
+    for (uint64_t u = 0; u < dataset.item_counts[item]; ++u)
+      reports.push_back(protocol.Perturb(item, rng));
+  }
+  const auto attack = MakeAttack(pconfig, dataset.domain_size(), rng);
+  auto crafted = attack->Craft(protocol, m, rng);
+  std::move(crafted.begin(), crafted.end(), std::back_inserter(reports));
+
+  TrialRow row;
+  Aggregator all(protocol);
+  all.AddAllSharded(reports, shards);
+  row.before = Mse(truth, all.EstimateFrequencies());
+
+  KMeansDefenseOptions opts;
+  opts.sample_rate = xi;
+  const KMeansDefenseResult defense =
+      RunKMeansDefense(protocol, reports, opts, rng);
+  row.kmeans_alone = Mse(truth, defense.genuine_estimate);
+
+  row.km = Mse(truth, LdpRecoverKm(protocol, reports, opts, 0.2, rng));
+  return row;
+}
+
+void RunProtocol(const Dataset& dataset, ProtocolKind kind,
+                 uint64_t protocol_seed) {
   const auto protocol = MakeProtocol(kind, dataset.domain_size(), 0.5);
+  const std::vector<double> truth = dataset.TrueFrequencies();
+
+  const size_t trials = Trials();
+  const size_t num_xis = std::size(kXis);
+  const std::vector<TrialRow> rows = RunTrialGrid<TrialRow>(
+      num_xis, trials, protocol_seed,
+      [&](size_t xi_index, size_t shards, uint64_t trial_seed) {
+        return RunOneTrial(*protocol, dataset, truth, kXis[xi_index], shards,
+                           trial_seed);
+      });
+
   TablePrinter table(std::string("Figure 9 (IPUMS, MGA-IPA, ") +
                          ProtocolKindName(kind) + "): MSE vs xi",
                      {"Before", "K-means", "LDPRecover-KM"});
-
-  const std::vector<double> truth = dataset.TrueFrequencies();
-  Rng rng(20240213);
-
-  for (double xi : kXis) {
+  for (size_t x = 0; x < num_xis; ++x) {
     RunningStat before, kmeans_alone, km;
-    for (size_t trial = 0; trial < Trials(); ++trial) {
-      // Materialize the full IPA-poisoned report set: genuine users
-      // perturb honestly, malicious users perturb attacker-chosen
-      // inputs honestly (beta = 0.05 default).
-      PipelineConfig pconfig;
-      pconfig.attack = AttackKind::kMgaIpa;
-      pconfig.beta = 0.05;
-      const size_t m = MaliciousUserCount(pconfig.beta, dataset.num_users());
-
-      std::vector<Report> reports;
-      reports.reserve(dataset.num_users() + m);
-      for (ItemId item = 0; item < dataset.domain_size(); ++item) {
-        for (uint64_t u = 0; u < dataset.item_counts[item]; ++u)
-          reports.push_back(protocol->Perturb(item, rng));
-      }
-      const auto attack = MakeAttack(pconfig, dataset.domain_size(), rng);
-      auto crafted = attack->Craft(*protocol, m, rng);
-      std::move(crafted.begin(), crafted.end(), std::back_inserter(reports));
-
-      Aggregator all(*protocol);
-      all.AddAll(reports);
-      before.Add(Mse(truth, all.EstimateFrequencies()));
-
-      KMeansDefenseOptions opts;
-      opts.sample_rate = xi;
-      const KMeansDefenseResult defense =
-          RunKMeansDefense(*protocol, reports, opts, rng);
-      kmeans_alone.Add(Mse(truth, defense.genuine_estimate));
-
-      km.Add(Mse(truth, LdpRecoverKm(*protocol, reports, opts, 0.2, rng)));
+    for (size_t t = 0; t < trials; ++t) {
+      const TrialRow& row = rows[x * trials + t];
+      before.Add(row.before);
+      kmeans_alone.Add(row.kmeans_alone);
+      km.Add(row.km);
     }
-    char row[32];
-    std::snprintf(row, sizeof(row), "xi=%g", xi);
-    table.AddRow(row, {before.mean(), kmeans_alone.mean(), km.mean()});
+    char name[32];
+    std::snprintf(name, sizeof(name), "xi=%g", kXis[x]);
+    table.AddRow(name, {before.mean(), kmeans_alone.mean(), km.mean()});
   }
   table.Print();
 }
@@ -81,7 +116,8 @@ int main() {
       "bench_fig9_kmeans: Figure 9 — k-means defense vs LDPRecover-KM "
       "under MGA-IPA");
   const ldpr::Dataset ipums = BenchIpums();
+  size_t protocol_index = 0;
   for (ldpr::ProtocolKind protocol : ldpr::kAllProtocolKinds)
-    RunProtocol(ipums, protocol);
+    RunProtocol(ipums, protocol, ldpr::DeriveSeed(kSeed, protocol_index++));
   return 0;
 }

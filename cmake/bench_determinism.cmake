@@ -1,0 +1,39 @@
+# Runs BENCH_BIN twice — LDPR_THREADS=1 and LDPR_THREADS=3 — at a
+# tiny scale and fails unless the printed tables are byte-identical.
+# The banner line reporting the thread count is stripped before the
+# comparison (it is the only output that legitimately depends on
+# LDPR_THREADS).
+#
+# Usage: cmake -DBENCH_BIN=<path> -P bench_determinism.cmake
+
+if(NOT BENCH_BIN)
+  message(FATAL_ERROR "BENCH_BIN not set")
+endif()
+
+set(ENV{LDPR_BENCH_SCALE} "0.02")
+set(ENV{LDPR_BENCH_TRIALS} "2")
+
+set(ENV{LDPR_THREADS} "1")
+execute_process(COMMAND ${BENCH_BIN} OUTPUT_VARIABLE out_serial
+                RESULT_VARIABLE rc_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} failed at LDPR_THREADS=1 (rc=${rc_serial})")
+endif()
+
+set(ENV{LDPR_THREADS} "3")
+execute_process(COMMAND ${BENCH_BIN} OUTPUT_VARIABLE out_parallel
+                RESULT_VARIABLE rc_parallel)
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} failed at LDPR_THREADS=3 (rc=${rc_parallel})")
+endif()
+
+string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" out_serial "${out_serial}")
+string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" out_parallel "${out_parallel}")
+
+if(NOT out_serial STREQUAL out_parallel)
+  message(FATAL_ERROR
+          "${BENCH_BIN}: output differs between LDPR_THREADS=1 and 3\n"
+          "--- threads=1 ---\n${out_serial}\n"
+          "--- threads=3 ---\n${out_parallel}")
+endif()
+message(STATUS "${BENCH_BIN}: byte-identical at LDPR_THREADS=1 and 3")

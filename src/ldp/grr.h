@@ -36,6 +36,12 @@ class Grr final : public FrequencyProtocol {
   /// each misreport lands uniformly on one of the d-1 other items, so
   /// misreports from item v spread multinomially.  O(d^2) worst case,
   /// O(#populated items * d) in practice.
+  ///
+  /// The sharded aggregation path uses the inherited
+  /// SampleSupportCountsRange (restrict histogram, then this sampler):
+  /// the binomial/multinomial split decomposes over user subsets, and
+  /// the n_item == 0 fast path below already skips every item absent
+  /// from a chunk, so no bespoke range override is needed.
   std::vector<double> SampleSupportCounts(
       const std::vector<uint64_t>& item_counts, Rng& rng) const override;
 

@@ -17,9 +17,14 @@ Report Harmony::Perturb(double value, Rng& rng) const {
 }
 
 double Harmony::EstimateMean(const std::vector<Report>& reports) const {
+  return EstimateMeanSharded(reports, /*shards=*/1);
+}
+
+double Harmony::EstimateMeanSharded(const std::vector<Report>& reports,
+                                    size_t shards) const {
   LDPR_CHECK(!reports.empty());
   Aggregator agg(rr_);
-  agg.AddAll(reports);
+  agg.AddAllSharded(reports, shards);
   return MeanFromFrequencies(agg.EstimateFrequencies());
 }
 

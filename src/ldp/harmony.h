@@ -42,6 +42,12 @@ class Harmony {
   /// Server side: estimated mean from the reports.
   double EstimateMean(const std::vector<Report>& reports) const;
 
+  /// Same estimate, with support aggregation sharded across `shards`
+  /// pool workers (0 = auto).  Byte-identical to EstimateMean at any
+  /// shard count (see Aggregator::AddAllSharded).
+  double EstimateMeanSharded(const std::vector<Report>& reports,
+                             size_t shards) const;
+
   /// Converts an estimated binary frequency vector
   /// [f(+1), f(-1)] into a mean estimate: 2*f(+1) - 1.
   ///

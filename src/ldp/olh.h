@@ -51,9 +51,19 @@ class OlhBase : public FrequencyProtocol {
   /// Per-item-exact fast sampling: each item's support count is
   /// exactly Binomial(n_v, p) + Binomial(n - n_v, 1/g).  Cross-item
   /// correlation through shared seeds is not reproduced; see
-  /// DESIGN.md section 5 and tests/sim_equivalence_test.cc.
+  /// DESIGN.md section 5 and tests/sim_equivalence_test.cc.  The
+  /// binomials decompose over user subsets, so the sharded path
+  /// recomposes the exact same per-item law.
   std::vector<double> SampleSupportCounts(
       const std::vector<uint64_t>& item_counts, Rng& rng) const override;
+
+  /// Shard building block: the two binomials above, restricted to the
+  /// canonical users [user_begin, user_end), without materializing
+  /// the restricted histogram.  Draws in the same order as
+  /// SampleSupportCounts on the restriction (bit-compatible).
+  std::vector<double> SampleSupportCountsRange(
+      const std::vector<uint64_t>& item_counts, uint64_t user_begin,
+      uint64_t user_end, Rng& rng) const override;
 
   /// An attacker-crafted report for `item`: a uniformly random seed
   /// with the bucket set to H_seed(item), so the report is guaranteed

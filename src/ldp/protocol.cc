@@ -1,8 +1,25 @@
 #include "ldp/protocol.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ldpr {
+
+std::vector<uint64_t> RestrictItemCountsToUsers(
+    const std::vector<uint64_t>& item_counts, uint64_t user_begin,
+    uint64_t user_end) {
+  LDPR_CHECK(user_begin <= user_end);
+  std::vector<uint64_t> restricted(item_counts.size(), 0);
+  uint64_t offset = 0;  // canonical index of the first user of item v
+  for (size_t v = 0; v < item_counts.size() && offset < user_end; ++v) {
+    restricted[v] =
+        UsersOfItemInRange(offset, item_counts[v], user_begin, user_end);
+    offset += item_counts[v];
+  }
+  return restricted;
+}
 
 const char* ProtocolKindName(ProtocolKind kind) {
   switch (kind) {
@@ -75,6 +92,54 @@ std::vector<double> FrequencyProtocol::SampleSupportCounts(
   return counts;
 }
 
+std::vector<double> FrequencyProtocol::SampleSupportCountsRange(
+    const std::vector<uint64_t>& item_counts, uint64_t user_begin,
+    uint64_t user_end, Rng& rng) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  return SampleSupportCounts(
+      RestrictItemCountsToUsers(item_counts, user_begin, user_end), rng);
+}
+
+std::vector<double> ShardedSupportCounts(
+    uint64_t n, size_t d, uint64_t seed, size_t shards,
+    const std::function<std::vector<double>(uint64_t, uint64_t, Rng&)>&
+        per_chunk) {
+  const uint64_t per_shard = kUsersPerAggregationShard;
+  const size_t num_chunks =
+      n == 0 ? 1 : static_cast<size_t>((n + per_shard - 1) / per_shard);
+
+  std::vector<std::vector<double>> partials(num_chunks);
+  ParallelFor(shards, num_chunks, [&](size_t chunk) {
+    Rng rng(DeriveSeed(seed, chunk));
+    const uint64_t begin = static_cast<uint64_t>(chunk) * per_shard;
+    const uint64_t end = std::min(n, begin + per_shard);
+    partials[chunk] = per_chunk(begin, end, rng);
+  });
+
+  // In-order merge.  (Partial counts are integer-valued doubles, so
+  // the sum is exact; the fixed order is belt and braces for any
+  // future non-integer partials.)
+  std::vector<double> counts(d, 0.0);
+  for (const std::vector<double>& partial : partials) {
+    LDPR_CHECK(partial.size() == d);
+    for (size_t v = 0; v < d; ++v) counts[v] += partial[v];
+  }
+  return counts;
+}
+
+std::vector<double> FrequencyProtocol::SampleSupportCountsSharded(
+    const std::vector<uint64_t>& item_counts, uint64_t seed,
+    size_t shards) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+  return ShardedSupportCounts(
+      n, d_, seed, shards,
+      [&](uint64_t begin, uint64_t end, Rng& rng) {
+        return SampleSupportCountsRange(item_counts, begin, end, rng);
+      });
+}
+
 Aggregator::Aggregator(const FrequencyProtocol& protocol)
     : protocol_(protocol), counts_(protocol.domain_size(), 0.0) {}
 
@@ -85,6 +150,38 @@ void Aggregator::Add(const Report& report) {
 
 void Aggregator::AddAll(const std::vector<Report>& reports) {
   for (const Report& r : reports) Add(r);
+}
+
+void Aggregator::AddAllSharded(const std::vector<Report>& reports,
+                               size_t shards) {
+  const size_t per_chunk = kReportsPerAggregationShard;
+  const size_t num_chunks = (reports.size() + per_chunk - 1) / per_chunk;
+  if (num_chunks <= 1) {
+    AddAll(reports);
+    return;
+  }
+  std::vector<std::vector<double>> partials(num_chunks);
+  ParallelFor(shards, num_chunks, [&](size_t chunk) {
+    std::vector<double> partial(counts_.size(), 0.0);
+    const size_t begin = chunk * per_chunk;
+    const size_t end = std::min(reports.size(), begin + per_chunk);
+    for (size_t i = begin; i < end; ++i)
+      protocol_.AccumulateSupports(reports[i], partial);
+    partials[chunk] = std::move(partial);
+  });
+  for (const std::vector<double>& partial : partials) {
+    for (size_t v = 0; v < counts_.size(); ++v) counts_[v] += partial[v];
+  }
+  report_count_ += reports.size();
+}
+
+void Aggregator::AddSampledPopulation(const std::vector<uint64_t>& item_counts,
+                                      uint64_t seed, size_t shards) {
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+  AddSampledCounts(protocol_.SampleSupportCountsSharded(item_counts, seed,
+                                                        shards),
+                   static_cast<size_t>(n));
 }
 
 void Aggregator::AddSampledCounts(const std::vector<double>& counts,

@@ -11,12 +11,34 @@
 // (Eq. (12)-(13)).  Each concrete protocol supplies its perturbation
 // probabilities p and q, its perturbation algorithm, and its support
 // predicate; the shared aggregation and estimation logic lives here.
+//
+// Aggregation comes in three flavors (docs/architecture.md):
+//
+//  1. Streaming: Aggregator::Add folds materialized reports one at a
+//     time (O(d) memory, any report source).
+//  2. Closed-form sampling: SampleSupportCounts draws the aggregate
+//     support-count vector of a whole genuine population directly
+//     from its distribution, without per-user reports.
+//  3. Sharded: the *Sharded variants split the population (or report
+//     stream) into fixed-size contiguous chunks, process chunk c on
+//     its own Rng(DeriveSeed(seed, c)), and merge partial
+//     support-count vectors in chunk order.  Because the chunk
+//     decomposition depends only on the population — never on the
+//     worker count — the output is byte-identical at any `shards`
+//     value; shards only decide how many pool workers chew on the
+//     chunks.  This is what lets one paper-scale trial (millions of
+//     users) use every core.
+//
+// The canonical user ordering behind the sharded paths: users are
+// grouped by item, items ascending — user indices [0, n_0) hold item
+// 0, [n_0, n_0 + n_1) hold item 1, and so on.
 
 #ifndef LDPR_LDP_PROTOCOL_H_
 #define LDPR_LDP_PROTOCOL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +59,50 @@ enum class ProtocolKind {
 };
 
 const char* ProtocolKindName(ProtocolKind kind);
+
+/// Users per aggregation shard.  Fixed (rather than derived from the
+/// worker count) so the shard decomposition — and therefore every
+/// sharded sampling output — depends only on the population size.
+inline constexpr uint64_t kUsersPerAggregationShard = 1u << 16;
+
+/// Reports per chunk in Aggregator::AddAllSharded.  Chosen so one
+/// chunk is a few milliseconds of support accumulation even for the
+/// O(d)-per-report protocols (OLH, unary).
+inline constexpr size_t kReportsPerAggregationShard = 1u << 13;
+
+/// How many canonical users of one item fall inside
+/// [user_begin, user_end), given that the item's user block starts at
+/// `item_offset` and holds `item_count` users.  The single home of
+/// the canonical-ordering clipping arithmetic — used by
+/// RestrictItemCountsToUsers and the protocol range samplers.
+inline uint64_t UsersOfItemInRange(uint64_t item_offset, uint64_t item_count,
+                                   uint64_t user_begin, uint64_t user_end) {
+  const uint64_t lo = item_offset < user_begin ? user_begin : item_offset;
+  const uint64_t item_end = item_offset + item_count;
+  const uint64_t hi = item_end < user_end ? item_end : user_end;
+  return hi > lo ? hi - lo : 0;
+}
+
+/// Restriction of a population histogram to the canonical users
+/// [user_begin, user_end): entry v is how many of those users hold
+/// item v.  The canonical ordering groups users by item, items
+/// ascending.  Requires user_begin <= user_end <= sum(item_counts).
+std::vector<uint64_t> RestrictItemCountsToUsers(
+    const std::vector<uint64_t>& item_counts, uint64_t user_begin,
+    uint64_t user_end);
+
+/// The shared scaffolding of every sharded-over-users aggregation
+/// path: cuts an n-user population into kUsersPerAggregationShard-
+/// sized chunks, runs per_chunk(user_begin, user_end, rng) for chunk
+/// c on Rng(DeriveSeed(seed, c)) across `shards` pool workers (0 =
+/// auto), and merges the returned length-d partial vectors in chunk
+/// order.  The chunk decomposition depends only on n, so the output
+/// is byte-identical at every `shards` value.
+std::vector<double> ShardedSupportCounts(
+    uint64_t n, size_t d, uint64_t seed, size_t shards,
+    const std::function<std::vector<double>(uint64_t user_begin,
+                                            uint64_t user_end, Rng& rng)>&
+        per_chunk);
 
 /// Interface of a pure LDP frequency-estimation protocol.
 class FrequencyProtocol {
@@ -107,6 +173,29 @@ class FrequencyProtocol {
   virtual std::vector<double> SampleSupportCounts(
       const std::vector<uint64_t>& item_counts, Rng& rng) const;
 
+  /// Samples the support-count contribution of the canonical users
+  /// [user_begin, user_end) only — the shard-level building block of
+  /// SampleSupportCountsSharded.  Every closed-form sampler
+  /// decomposes over user subsets (sums of independent binomials /
+  /// multinomials recompose), so the default restricts the histogram
+  /// and delegates to SampleSupportCounts; OLH and the unary family
+  /// override to skip the intermediate histogram.
+  virtual std::vector<double> SampleSupportCountsRange(
+      const std::vector<uint64_t>& item_counts, uint64_t user_begin,
+      uint64_t user_end, Rng& rng) const;
+
+  /// Sharded, deterministic SampleSupportCounts: splits the
+  /// population into kUsersPerAggregationShard-sized contiguous
+  /// chunks of the canonical user ordering, samples chunk c on
+  /// Rng(DeriveSeed(seed, c)) via SampleSupportCountsRange, and merges
+  /// the partial vectors in chunk order across `shards` pool workers
+  /// (0 = auto, 1 = run chunks serially).  Output is byte-identical
+  /// at every `shards` value because neither the chunking nor the
+  /// per-chunk RNG streams depend on it.
+  std::vector<double> SampleSupportCountsSharded(
+      const std::vector<uint64_t>& item_counts, uint64_t seed,
+      size_t shards) const;
+
   /// Crafts a report in the *encoded* domain that deterministically
   /// supports `item` — the building block of poisoning attacks, which
   /// bypass the perturbation step (Section IV-A).
@@ -136,6 +225,21 @@ class Aggregator {
 
   /// Folds a batch of reports.
   void AddAll(const std::vector<Report>& reports);
+
+  /// Folds a batch of reports across `shards` pool workers (0 =
+  /// auto): the batch splits into kReportsPerAggregationShard-sized
+  /// chunks, each chunk accumulates into its own partial vector, and
+  /// the partials merge in chunk order.  Support counts are sums of
+  /// 1.0's (exact in double well past 2^50 reports), so the result is
+  /// byte-identical to AddAll at every shard count.
+  void AddAllSharded(const std::vector<Report>& reports, size_t shards);
+
+  /// Samples and folds the aggregate of a whole genuine population
+  /// via the protocol's sharded closed-form sampler (see
+  /// FrequencyProtocol::SampleSupportCountsSharded for the
+  /// determinism contract).
+  void AddSampledPopulation(const std::vector<uint64_t>& item_counts,
+                            uint64_t seed, size_t shards);
 
   /// Number of reports aggregated so far.
   size_t report_count() const { return report_count_; }

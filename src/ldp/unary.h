@@ -31,9 +31,19 @@ class UnaryEncoding : public FrequencyProtocol {
 
   /// Exact closed-form sampling: bits are independent across items,
   /// so per-item support counts are Binomial(n_v, p) +
-  /// Binomial(n - n_v, q) jointly independently.
+  /// Binomial(n - n_v, q) jointly independently.  Both binomials
+  /// decompose over user subsets, so the sharded path recomposes the
+  /// exact same joint law.
   std::vector<double> SampleSupportCounts(
       const std::vector<uint64_t>& item_counts, Rng& rng) const override;
+
+  /// Shard building block: the same two binomials restricted to the
+  /// canonical users [user_begin, user_end), without materializing
+  /// the restricted histogram.  Draws in the same order as
+  /// SampleSupportCounts on the restriction (bit-compatible).
+  std::vector<double> SampleSupportCountsRange(
+      const std::vector<uint64_t>& item_counts, uint64_t user_begin,
+      uint64_t user_end, Rng& rng) const override;
 
   /// One-hot crafted vector (the adaptive-attack sample encoding).
   Report CraftSupportingReport(ItemId item, Rng& rng) const override;

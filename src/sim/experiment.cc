@@ -142,12 +142,21 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   const std::unique_ptr<FrequencyProtocol> protocol =
       MakeProtocol(config.protocol, dataset.domain_size(), config.epsilon);
 
+  // Split the thread budget between the two parallelism levels so
+  // they never oversubscribe: with many trials the fan-out takes the
+  // whole budget and each trial aggregates serially; with few (down
+  // to one) trials the leftover goes to within-trial aggregation
+  // shards.
+  const ThreadBudget budget = SplitThreadBudget(config.threads, config.trials);
+  ExperimentConfig budgeted = config;
+  budgeted.pipeline.shards = budget.inner;
+
   // Every trial runs on its own counter-derived RNG stream, writes
   // its own slot, and the slots merge in trial order below — so the
   // result is bit-identical no matter how trials land on workers.
   std::vector<TrialMetrics> trials(config.trials);
-  ParallelFor(config.threads, config.trials, [&](size_t trial) {
-    trials[trial] = RunTrialWithProtocol(*protocol, config, dataset,
+  ParallelFor(budget.outer, config.trials, [&](size_t trial) {
+    trials[trial] = RunTrialWithProtocol(*protocol, budgeted, dataset,
                                          DeriveSeed(config.seed, trial));
   });
 

@@ -12,6 +12,18 @@
 //
 // MSE is measured against the exact genuine frequencies f_X; FG is
 // measured against the genuine LDP estimate f~_X per Eq. (37).
+//
+// Threading contract (docs/architecture.md): RunExperiment owns one
+// thread budget (config.threads, 0 = auto) and splits it between two
+// levels of parallelism — the trial fan-out and each trial's
+// within-trial aggregation shards — so the two levels never
+// oversubscribe the machine: trial_workers = min(threads, trials),
+// shards = threads / trial_workers.  Many trials => trials fan out
+// and aggregation runs serially inside each; a single huge trial =>
+// the whole budget goes to its aggregation shards.  Results are
+// byte-identical under every split because per-trial and per-shard
+// RNG streams are counter-derived and every merge happens in index
+// order.
 
 #ifndef LDPR_SIM_EXPERIMENT_H_
 #define LDPR_SIM_EXPERIMENT_H_
@@ -42,10 +54,14 @@ struct ExperimentConfig {
   /// Reproduce the paper's literal Eq. (28); see
   /// recover/malicious_stats.h.
   bool paper_literal_subdomain_sum = false;
-  /// Worker threads for the trial fan-out: 0 = auto (LDPR_THREADS or
-  /// hardware concurrency), 1 = serial.  Results are bit-identical at
+  /// Worker-thread budget shared by the trial fan-out and the
+  /// within-trial aggregation shards: 0 = auto (LDPR_THREADS or
+  /// hardware concurrency), 1 = fully serial.  RunExperiment splits
+  /// the budget (see the file header); pipeline.shards is overridden
+  /// with the within-trial share.  Results are bit-identical at
   /// every thread count: each trial runs on its own counter-derived
-  /// RNG stream and trial metrics are merged in trial order.
+  /// RNG stream, sharded aggregation chunks likewise, and all merges
+  /// happen in index order.
   size_t threads = 0;
 };
 

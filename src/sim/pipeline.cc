@@ -73,6 +73,20 @@ std::vector<double> ExactGenuineSupportCounts(
   return counts;
 }
 
+std::vector<double> ExactGenuineSupportCountsSharded(
+    const FrequencyProtocol& protocol,
+    const std::vector<uint64_t>& item_counts, uint64_t seed, size_t shards) {
+  LDPR_CHECK(item_counts.size() == protocol.domain_size());
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+  return ShardedSupportCounts(
+      n, protocol.domain_size(), seed, shards,
+      [&](uint64_t begin, uint64_t end, Rng& rng) {
+        return ExactGenuineSupportCounts(
+            protocol, RestrictItemCountsToUsers(item_counts, begin, end), rng);
+      });
+}
+
 TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
                               const PipelineConfig& config,
                               const Dataset& dataset, Rng& rng) {
@@ -86,14 +100,23 @@ TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
               : MaliciousUserCount(config.beta, out.n);
   out.true_freqs = dataset.TrueFrequencies();
 
-  // Genuine side: aggregate support counts, closed-form or per-user.
+  // Genuine side: aggregate support counts, closed-form or per-user,
+  // sharded across config.shards workers.  One seed drawn from the
+  // trial RNG keys the sharded fan-out, so the number of draws
+  // consumed here — and therefore everything downstream of `rng` —
+  // is independent of the shard count.
+  const uint64_t genuine_seed = rng.Next();
   const std::vector<double> genuine_counts =
       config.exact_genuine
-          ? ExactGenuineSupportCounts(protocol, dataset.item_counts, rng)
-          : protocol.SampleSupportCounts(dataset.item_counts, rng);
+          ? ExactGenuineSupportCountsSharded(protocol, dataset.item_counts,
+                                             genuine_seed, config.shards)
+          : protocol.SampleSupportCountsSharded(dataset.item_counts,
+                                                genuine_seed, config.shards);
   out.genuine_freqs = protocol.EstimateFrequencies(genuine_counts, out.n);
 
-  // Attacker side.
+  // Attacker side.  Crafting stays serial on the trial RNG (attacks
+  // are stateful samplers); the support accumulation — the O(m*d)
+  // part for OLH/unary — shards over the report chunks.
   std::vector<double> malicious_counts(d, 0.0);
   if (out.m > 0) {
     const std::unique_ptr<Attack> attack = MakeAttack(config, d, rng);
@@ -101,8 +124,9 @@ TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
     out.attack_targets = attack->targets();
     out.malicious_reports = attack->Craft(protocol, out.m, rng);
     LDPR_CHECK(out.malicious_reports.size() == out.m);
-    for (const Report& r : out.malicious_reports)
-      protocol.AccumulateSupports(r, malicious_counts);
+    Aggregator malicious_agg(protocol);
+    malicious_agg.AddAllSharded(out.malicious_reports, config.shards);
+    malicious_counts = malicious_agg.support_counts();
     out.malicious_freqs =
         protocol.EstimateFrequencies(malicious_counts, out.m);
   }

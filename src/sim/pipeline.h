@@ -44,6 +44,15 @@ struct PipelineConfig {
   /// aggregate from its closed-form law (slow; used by equivalence
   /// tests).
   bool exact_genuine = false;
+  /// Pool workers for the *within-trial* aggregation fan-out (genuine
+  /// support sampling, per-user exact simulation, malicious report
+  /// accumulation): 0 = auto, 1 = serial.  The trial output is
+  /// byte-identical at every value — the population splits into
+  /// fixed-size chunks whose RNG streams are derived from the trial
+  /// seed, and partial counts merge in chunk order — so this knob
+  /// only decides how many cores one trial may use.  RunExperiment
+  /// budgets it against the trial-level fan-out (see experiment.h).
+  size_t shards = 1;
 };
 
 /// Everything one trial produces.  All frequency vectors have length
@@ -84,6 +93,15 @@ TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
 std::vector<double> ExactGenuineSupportCounts(
     const FrequencyProtocol& protocol, const std::vector<uint64_t>& item_counts,
     Rng& rng);
+
+/// Sharded per-user exact aggregation: canonical user chunk c
+/// perturbs on Rng(DeriveSeed(seed, c)) and partial support counts
+/// merge in chunk order across `shards` pool workers (0 = auto).
+/// Byte-identical at every shard count; this is what lets a single
+/// million-user trial use the whole machine.
+std::vector<double> ExactGenuineSupportCountsSharded(
+    const FrequencyProtocol& protocol, const std::vector<uint64_t>& item_counts,
+    uint64_t seed, size_t shards);
 
 }  // namespace ldpr
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <random>
 
 #include "util/logging.h"
 
@@ -111,12 +110,59 @@ uint64_t Rng::BinomialInversion(uint64_t n, double p) {
   return x;
 }
 
+namespace {
+
+// The Stirling series tail ln(k!) - [ln(sqrt(2*pi*k)) + k*ln(k) - k],
+// tabulated for k <= 9, asymptotic otherwise (Hormann 1993).  Local
+// so the sampler never touches libc's lgamma, whose glibc
+// implementation writes the process-global signgam — a data race
+// when aggregation shards sample binomials concurrently.
+double StirlingTail(double k) {
+  static constexpr double kTail[] = {
+      0.0810614667953272,  0.0413406959554092,  0.0276779256849983,
+      0.02079067210376509, 0.0166446911898211,  0.0138761288230707,
+      0.0118967099458917,  0.0104112652619720,  0.00925546218271273,
+      0.00833056343336287};
+  if (k <= 9.0) return kTail[static_cast<int>(k)];
+  const double kp1sq = (k + 1.0) * (k + 1.0);
+  return (1.0 / 12 - (1.0 / 360 - 1.0 / 1260 / kp1sq) / kp1sq) / (k + 1.0);
+}
+
+}  // namespace
+
 uint64_t Rng::BinomialBtrs(uint64_t n, double p) {
-  // Large-n*p regime: delegate to the standard library's exact
-  // rejection sampler, driven by this engine (deterministic given our
-  // seed).  The name is kept for the regime split in Binomial().
-  std::binomial_distribution<uint64_t> dist(n, p);
-  return dist(*this);
+  // BTRS, Hormann 1993: transformed rejection with squeeze, the
+  // standard large-n*p binomial sampler (requires n*p >= 10 and
+  // p <= 0.5, which Binomial() guarantees).  Self-contained —
+  // thread-safe and O(1) expected draws — unlike
+  // std::binomial_distribution, whose setup calls glibc lgamma.
+  const double nd = static_cast<double>(n);
+  const double stddev = std::sqrt(nd * p * (1.0 - p));
+  const double b = 1.15 + 2.53 * stddev;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double r = p / (1.0 - p);
+  const double alpha = (2.83 + 5.1 / b) * stddev;
+  const double m = std::floor((nd + 1.0) * p);
+  for (;;) {
+    const double u = UniformDouble() - 0.5;
+    double v = UniformDouble();
+    const double us = 0.5 - std::fabs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + c);
+    // Inside the squeeze region the bounding box is tight enough to
+    // accept without evaluating the density.
+    if (us >= 0.07 && v <= v_r) return static_cast<uint64_t>(k);
+    if (k < 0.0 || k > nd) continue;
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double upper =
+        (m + 0.5) * std::log((m + 1.0) / (r * (nd - m + 1.0))) +
+        (nd + 1.0) * std::log((nd - m + 1.0) / (nd - k + 1.0)) +
+        (k + 0.5) * std::log(r * (nd - k + 1.0) / (k + 1.0)) +
+        StirlingTail(m) + StirlingTail(nd - m) - StirlingTail(k) -
+        StirlingTail(nd - k);
+    if (v <= upper) return static_cast<uint64_t>(k);
+  }
 }
 
 uint64_t Rng::Binomial(uint64_t n, double p) {

@@ -66,8 +66,12 @@ class Rng {
   /// Binomial(n, p) draw.
   ///
   /// Uses inversion for small n*p and the BTRS transformed-rejection
-  /// algorithm otherwise, so sampling counts for hundreds of thousands
-  /// of users is O(1) per item instead of O(n).
+  /// algorithm (Hormann 1993) otherwise, so sampling counts for
+  /// hundreds of thousands of users is O(1) per item instead of
+  /// O(n).  Self-contained: never calls libc lgamma, whose glibc
+  /// implementation writes the global signgam — important because
+  /// sharded aggregation samples binomials from many threads at
+  /// once.
   uint64_t Binomial(uint64_t n, double p);
 
   /// Jumps the generator forward by 2^128 steps; handy for carving

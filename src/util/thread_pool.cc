@@ -9,6 +9,14 @@
 
 namespace ldpr {
 
+namespace {
+// The pool whose WorkerLoop owns this thread (null on non-worker
+// threads).  Lets the free ParallelFor recognize nested calls (which
+// must not re-enter the pool they run on — see the header) and lets
+// Wait() trap same-pool re-entry, the one call shape that deadlocks.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(num_threads);
@@ -37,11 +45,15 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  // Waiting on the pool from inside one of its own tasks deadlocks:
+  // in_flight_ includes the calling task, so it can never reach 0.
+  LDPR_CHECK(t_worker_pool != this);
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -60,7 +72,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             size_t max_runners) {
   if (begin >= end) return;
   const size_t n = end - begin;
 
@@ -72,7 +85,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   std::exception_ptr error;
   std::mutex error_mu;
 
-  const size_t runners = n < num_threads() ? n : num_threads();
+  size_t runners = n < num_threads() ? n : num_threads();
+  if (max_runners != 0 && max_runners < runners) runners = max_runners;
   for (size_t r = 0; r < runners; ++r) {
     Submit([&next, &error, &error_mu, end, &fn] {
       for (;;) {
@@ -101,6 +115,22 @@ size_t DefaultThreadCount() {
   return hw < 1 ? 1 : static_cast<size_t>(hw);
 }
 
+ThreadBudget SplitThreadBudget(size_t num_threads, size_t n) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  ThreadBudget budget;
+  budget.outer = n < 1 ? 1 : (num_threads < n ? num_threads : n);
+  budget.inner = num_threads / budget.outer;
+  if (budget.inner < 1) budget.inner = 1;
+  return budget;
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+bool InThreadPoolWorker() { return t_worker_pool != nullptr; }
+
 void ParallelFor(size_t num_threads, size_t n,
                  const std::function<void(size_t)>& fn) {
   if (num_threads == 0) num_threads = DefaultThreadCount();
@@ -108,6 +138,18 @@ void ParallelFor(size_t num_threads, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  if (!InThreadPoolWorker()) {
+    ThreadPool& pool = GlobalThreadPool();
+    // The shared pool serves any request it can cover; oversized
+    // requests (more workers than LDPR_THREADS / the hardware has)
+    // keep the old transient-pool semantics below.
+    if (num_threads <= pool.num_threads()) {
+      pool.ParallelFor(0, n, fn, /*max_runners=*/num_threads);
+      return;
+    }
+  }
+  // Nested inside a pool task, or wider than the global pool: a
+  // transient pool sized by the caller's (budgeted) request.
   ThreadPool pool(num_threads < n ? num_threads : n);
   pool.ParallelFor(0, n, fn);
 }

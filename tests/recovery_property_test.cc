@@ -63,7 +63,9 @@ TEST_P(RecoveryPropertyTest, RecoveryNotWorseThanPoisoned) {
   config.beta = 0.05;
   Rng rng(42);
   RunningStat before, after;
-  for (int trial = 0; trial < 5; ++trial) {
+  // 12 trials: with 5 the means are noisy enough that a benign RNG
+  // stream relayout can push a borderline case past the 5% slack.
+  for (int trial = 0; trial < 12; ++trial) {
     const TrialOutput t = RunPoisoningTrial(*protocol_, config, dataset_, rng);
     const LdpRecover recover(*protocol_);
     before.Add(Mse(t.true_freqs, t.poisoned_freqs));
