@@ -1,0 +1,206 @@
+// ldpr_bench: the one driver for every paper figure/table scenario.
+//
+//   # What can I run?
+//   ldpr_bench --list
+//
+//   # Reproduce Figure 3 and Table I on the console:
+//   ldpr_bench --scenario fig3,table1
+//
+//   # Machine-readable run: per-scenario results.csv / results.jsonl
+//   # plus a manifest.json recording seed/scale/threads/git version:
+//   ldpr_bench --scenario fig3 --out results/
+//
+//   # Paper fidelity:
+//   ldpr_bench --scenario all --scale=1 --trials=10 --out results/
+//
+// Flags (defaults in brackets): --scenario ID[,ID...]|all, --list,
+// --out DIR, --seed [scenario default, 20240213], --trials
+// [LDPR_BENCH_TRIALS or 3], --scale [LDPR_BENCH_SCALE or 0.05],
+// --threads [0 = auto: LDPR_THREADS or hardware concurrency].
+//
+// Output is byte-identical at any --threads value; the manifest (not
+// the result files) records the thread budget actually used.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/manifest.h"
+#include "runner/result_sink.h"
+#include "runner/scenario_runner.h"
+#include "scenarios.h"
+#include "util/flags.h"
+
+namespace ldpr {
+namespace bench {
+namespace {
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : list) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+void PrintScenarioList() {
+  std::printf("%-14s %-12s %s\n", "id", "artifact", "title");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const Scenario* scenario : ScenarioRegistry::Global().scenarios()) {
+    std::printf("%-14s %-12s %s\n", scenario->spec.id.c_str(),
+                scenario->spec.artifact.c_str(), scenario->spec.title.c_str());
+  }
+  std::printf(
+      "\nRun with: ldpr_bench --scenario <id>[,<id>...] [--out DIR] "
+      "[--scale F] [--trials N] [--seed N] [--threads N]\n");
+}
+
+// A sink forwarding the banner to the console only: the console child
+// of a --out run prints it, while the data files stay banner-free.
+int RunScenarioById(const std::string& id, const ScenarioRunOptions& options,
+                    const std::string& out_dir) {
+  const Scenario* scenario = ScenarioRegistry::Global().Find(id);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
+                 id.c_str());
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<ResultSink>> sinks;
+  sinks.push_back(std::make_unique<ConsoleSink>());
+  std::string scenario_dir;
+  if (!out_dir.empty()) {
+    scenario_dir = out_dir + "/" + id;
+    std::error_code ec;
+    std::filesystem::create_directories(scenario_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create %s: %s\n",
+                   scenario_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    auto csv = std::make_unique<CsvSink>(scenario_dir + "/results.csv");
+    auto jsonl = std::make_unique<JsonlSink>(scenario_dir + "/results.jsonl");
+    if (!csv->ok() || !jsonl->ok()) {
+      std::fprintf(stderr, "error: cannot open result files under %s\n",
+                   scenario_dir.c_str());
+      return 1;
+    }
+    sinks.push_back(std::move(csv));
+    sinks.push_back(std::move(jsonl));
+  }
+  MultiSink sink(std::move(sinks));
+
+  const auto report = RunScenario(*scenario, options, sink);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: scenario %s: %s\n", id.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const Status finish = sink.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "error: scenario %s: %s\n", id.c_str(),
+                 finish.ToString().c_str());
+    return 1;
+  }
+
+  if (!scenario_dir.empty()) {
+    // The report carries the resolved knobs/dataset sizes the sinks
+    // saw, so the manifest is guaranteed to describe the actual run.
+    const RunManifest manifest = MakeRunManifest(
+        scenario->spec, report->info, *report,
+        {"results.csv", "results.jsonl"});
+    const Status written =
+        WriteManifest(scenario_dir + "/manifest.json", manifest);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: scenario %s: %s\n", id.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/{results.csv,results.jsonl,manifest.json}\n\n",
+                scenario_dir.c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  RegisterAllScenarios();
+  const FlagParser flags(argc, argv);
+
+  const bool list = flags.GetBool("list", false);
+  const std::string scenario_list = flags.GetString("scenario", "");
+  const std::string out_dir = flags.GetString("out", "");
+  const auto seed = flags.GetInt("seed", 0);
+  const auto trials = flags.GetInt("trials", 0);
+  const auto scale = flags.GetDouble("scale", 0.0);
+  const auto threads = flags.GetInt("threads", -1);
+
+  for (const Status& status :
+       {seed.ok() ? Status::Ok() : seed.status(),
+        trials.ok() ? Status::Ok() : trials.status(),
+        scale.ok() ? Status::Ok() : scale.status(),
+        threads.ok() ? Status::Ok() : threads.status()}) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& unused : flags.unused_flags()) {
+    std::fprintf(stderr, "error: unknown flag --%s (try --list)\n",
+                 unused.c_str());
+    return 1;
+  }
+
+  if (list) {
+    PrintScenarioList();
+    return 0;
+  }
+  if (scenario_list.empty()) {
+    std::fprintf(stderr,
+                 "usage: ldpr_bench --scenario <id>[,<id>...] [--out DIR]\n"
+                 "       ldpr_bench --list\n");
+    return 2;
+  }
+  if (*threads > 0) {
+    // The pool is created lazily at first parallel work, so routing
+    // the flag through LDPR_THREADS reaches every "0 = auto" caller.
+    // 0 keeps the auto default (ldprecover_cli's convention).
+    setenv("LDPR_THREADS", std::to_string(*threads).c_str(), 1);
+  }
+
+  ScenarioRunOptions options;
+  options.seed = static_cast<uint64_t>(*seed < 0 ? 0 : *seed);
+  options.trials = static_cast<size_t>(*trials < 0 ? 0 : *trials);
+  options.scale = *scale;
+
+  std::vector<std::string> ids = SplitCommaList(scenario_list);
+  if (ids.size() == 1 && ids[0] == "all") {
+    ids.clear();
+    for (const Scenario* scenario : ScenarioRegistry::Global().scenarios())
+      ids.push_back(scenario->spec.id);
+  }
+  if (ids.empty()) {
+    std::fprintf(stderr, "error: --scenario list is empty (try --list)\n");
+    return 1;
+  }
+  for (const std::string& id : ids) {
+    const int rc = RunScenarioById(id, options, out_dir);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ldpr
+
+int main(int argc, char** argv) { return ldpr::bench::Run(argc, argv); }

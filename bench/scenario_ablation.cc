@@ -1,5 +1,5 @@
-// Ablation bench (DESIGN.md section 5): which parts of LDPRecover do
-// the work?  Compares, under MGA and AA on IPUMS:
+// Ablation scenario (DESIGN.md section 5): which parts of LDPRecover
+// do the work?  Compares, under MGA and AA on IPUMS:
 //
 //   Before        the raw poisoned estimate;
 //   Full          LDPRecover as published (subtract + refine);
@@ -10,33 +10,26 @@
 //   NormSub       KKT projection of the poisoned estimate directly.
 //
 // The (cell x trial) grid fans out across LDPR_THREADS: trial t of
-// cell c runs on Rng(DeriveSeed(kSeed, c * Trials() + t)) and the
-// per-trial MSEs merge in trial order, so the table is byte-identical
-// at any thread count.
+// cell c runs on Rng(DeriveSeed(seed, c * trials + t)) and the
+// per-trial MSEs merge in trial order, so the output is
+// byte-identical at any thread count.
 
 #include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_common.h"
 #include "ldp/factory.h"
 #include "recover/ldprecover.h"
 #include "recover/normalization.h"
+#include "runner/scenario_runner.h"
+#include "scenarios.h"
 #include "sim/pipeline.h"
 #include "util/metrics.h"
-#include "util/table.h"
 
 namespace ldpr {
 namespace bench {
 namespace {
-
-constexpr uint64_t kSeed = 20240213;
-
-struct CellSpec {
-  AttackKind attack;
-  ProtocolKind kind;
-};
 
 struct TrialRow {
   double before = 0, full = 0, nosub = 0, norefine = 0, clip = 0, normsub = 0;
@@ -65,38 +58,35 @@ TrialRow RunOneTrial(const FrequencyProtocol& protocol, const Dataset& dataset,
   return row;
 }
 
-}  // namespace
-}  // namespace bench
-}  // namespace ldpr
+Status RunAblation(ScenarioContext& ctx) {
+  const ScenarioSpec& spec = ctx.spec;
+  const Dataset& ipums = ctx.datasets[0];
 
-int main() {
-  using namespace ldpr;
-  using namespace ldpr::bench;
-  PrintBanner("bench_ablation_recovery: LDPRecover component ablation (MSE)");
-  const Dataset ipums = BenchIpums();
-
-  std::vector<CellSpec> cells;
-  for (AttackKind attack : {AttackKind::kMga, AttackKind::kAdaptive}) {
-    for (ProtocolKind kind : kAllProtocolKinds) cells.push_back({attack, kind});
+  std::vector<ScenarioCell> cells;
+  for (AttackKind attack : spec.attacks) {
+    for (ProtocolKind kind : spec.protocols) cells.push_back({attack, kind});
   }
   std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
-  for (const CellSpec& cell : cells)
-    protocols.push_back(MakeProtocol(cell.kind, ipums.domain_size(), 0.5));
+  for (const ScenarioCell& cell : cells)
+    protocols.push_back(MakeProtocol(cell.protocol, ipums.domain_size(),
+                                     spec.defaults.epsilon));
 
-  const size_t trials = Trials();
+  const size_t trials = ctx.trials;
+  ThreadBudget budget;
   const std::vector<TrialRow> rows = RunTrialGrid<TrialRow>(
-      cells.size(), trials, kSeed,
+      cells.size(), trials, ctx.seed,
       [&](size_t cell, size_t shards, uint64_t trial_seed) {
         PipelineConfig config;
         config.attack = cells[cell].attack;
-        config.beta = 0.05;
+        config.beta = spec.defaults.beta;
         config.shards = shards;
         return RunOneTrial(*protocols[cell], ipums, config, trial_seed);
-      });
+      },
+      &budget);
+  ctx.report.outer_workers = budget.outer;
+  ctx.report.shards = budget.inner;
 
-  TablePrinter table("Ablation (IPUMS): MSE",
-                     {"Before", "Full", "NoSubtract", "NoRefine", "ClipRenorm",
-                      "NormSub"});
+  ctx.sink.BeginTable("Ablation (IPUMS): MSE", spec.columns);
   for (size_t cell = 0; cell < cells.size(); ++cell) {
     RunningStat before, full, nosub, norefine, clip, normsub;
     for (size_t t = 0; t < trials; ++t) {
@@ -108,14 +98,39 @@ int main() {
       clip.Add(row.clip);
       normsub.Add(row.normsub);
     }
-    const std::string name = std::string(AttackKindName(cells[cell].attack)) +
-                             "-" + ProtocolKindName(cells[cell].kind);
-    table.AddRow(name, {before.mean(), full.mean(), nosub.mean(),
-                        norefine.mean(), clip.mean(), normsub.mean()});
-    if ((cell + 1) % std::size(kAllProtocolKinds) == 0 &&
-        cell + 1 < cells.size())
-      table.AddSeparator();
+    const std::string name =
+        std::string(AttackKindName(cells[cell].attack)) + "-" +
+        ProtocolKindName(cells[cell].protocol);
+    ctx.sink.AddRow(name, {before.mean(), full.mean(), nosub.mean(),
+                           norefine.mean(), clip.mean(), normsub.mean()});
+    ++ctx.report.rows;
+    if ((cell + 1) % spec.protocols.size() == 0 && cell + 1 < cells.size())
+      ctx.sink.AddSeparator();
   }
-  table.Print();
-  return 0;
+  ctx.sink.EndTable();
+  ++ctx.report.tables;
+  return Status::Ok();
 }
+
+}  // namespace
+
+void RegisterAblation(ScenarioRegistry& registry) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = "ablation";
+  spec.title = "ablation: LDPRecover component ablation (MSE)";
+  spec.artifact = "extension";
+  spec.metric_desc = "MSE";
+  spec.datasets = {"ipums"};
+  spec.protocols.assign(std::begin(kAllProtocolKinds),
+                        std::end(kAllProtocolKinds));
+  spec.attacks = {AttackKind::kMga, AttackKind::kAdaptive};
+  spec.columns = {"Before",     "Full",       "NoSubtract",
+                  "NoRefine",   "ClipRenorm", "NormSub"};
+  spec.custom = true;
+  scenario.run = RunAblation;
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

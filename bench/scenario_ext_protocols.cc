@@ -1,4 +1,4 @@
-// Extension bench (beyond the paper's evaluation grid): recovery
+// Extension scenario (beyond the paper's evaluation grid): recovery
 // accuracy for ALL five implemented protocols — the paper's GRR, OUE,
 // OLH plus the SUE and BLH extensions — under MGA and AA, reported
 // both as MSE and at the task level (how many attacker targets
@@ -13,24 +13,17 @@
 #include <string>
 #include <vector>
 
-#include "bench_common.h"
 #include "ldp/factory.h"
 #include "recover/ldprecover.h"
+#include "runner/scenario_runner.h"
+#include "scenarios.h"
 #include "sim/pipeline.h"
 #include "tasks/heavy_hitters.h"
 #include "util/metrics.h"
-#include "util/table.h"
 
 namespace ldpr {
 namespace bench {
 namespace {
-
-constexpr uint64_t kSeed = 20240213;
-
-struct CellSpec {
-  AttackKind attack;
-  ProtocolKind kind;
-};
 
 struct TrialRow {
   double mse_before = 0, mse_after = 0;
@@ -60,42 +53,37 @@ TrialRow RunOneTrial(const FrequencyProtocol& protocol, const Dataset& dataset,
   return row;
 }
 
-}  // namespace
-}  // namespace bench
-}  // namespace ldpr
+Status RunExtProtocols(ScenarioContext& ctx) {
+  const ScenarioSpec& spec = ctx.spec;
+  const Dataset& ipums = ctx.datasets[0];
 
-int main() {
-  using namespace ldpr;
-  using namespace ldpr::bench;
-  PrintBanner(
-      "bench_ext_protocols: recovery across all five protocols "
-      "(GRR/OUE/OLH + SUE/BLH)");
-  const Dataset ipums = BenchIpums();
-
-  std::vector<CellSpec> cells;
-  for (AttackKind attack : {AttackKind::kMga, AttackKind::kAdaptive}) {
-    for (ProtocolKind kind : kExtendedProtocolKinds)
-      cells.push_back({attack, kind});
+  std::vector<ScenarioCell> cells;
+  for (AttackKind attack : spec.attacks) {
+    for (ProtocolKind kind : spec.protocols) cells.push_back({attack, kind});
   }
   std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
-  for (const CellSpec& cell : cells)
-    protocols.push_back(MakeProtocol(cell.kind, ipums.domain_size(), 0.5));
+  for (const ScenarioCell& cell : cells)
+    protocols.push_back(MakeProtocol(cell.protocol, ipums.domain_size(),
+                                     spec.defaults.epsilon));
 
-  const size_t trials = Trials();
+  const size_t trials = ctx.trials;
+  ThreadBudget budget;
   const std::vector<TrialRow> rows = RunTrialGrid<TrialRow>(
-      cells.size(), trials, kSeed,
+      cells.size(), trials, ctx.seed,
       [&](size_t cell, size_t shards, uint64_t trial_seed) {
         PipelineConfig config;
         config.attack = cells[cell].attack;
-        config.beta = 0.05;
+        config.beta = spec.defaults.beta;
         config.shards = shards;
         return RunOneTrial(*protocols[cell], ipums, config, trial_seed);
-      });
+      },
+      &budget);
+  ctx.report.outer_workers = budget.outer;
+  ctx.report.shards = budget.inner;
 
-  TablePrinter table(
-      "Extended protocols (IPUMS): MSE and targets in top-10",
-      {"MSE before", "MSE after", "top10 before", "top10 after"});
-  const size_t per_attack = std::size(kExtendedProtocolKinds);
+  ctx.sink.BeginTable("Extended protocols (IPUMS): MSE and targets in top-10",
+                      spec.columns);
+  const size_t per_attack = spec.protocols.size();
   for (size_t cell = 0; cell < cells.size(); ++cell) {
     RunningStat mse_before, mse_after, hits_before, hits_after;
     for (size_t t = 0; t < trials; ++t) {
@@ -107,15 +95,42 @@ int main() {
         hits_after.Add(row.hits_after);
       }
     }
-    const std::string name = std::string(AttackKindName(cells[cell].attack)) +
-                             "-" + ProtocolKindName(cells[cell].kind);
-    table.AddRow(name,
-                 {mse_before.mean(), mse_after.mean(),
-                  hits_before.count() ? hits_before.mean() : 0.0,
-                  hits_after.count() ? hits_after.mean() : 0.0});
+    const std::string name =
+        std::string(AttackKindName(cells[cell].attack)) + "-" +
+        ProtocolKindName(cells[cell].protocol);
+    ctx.sink.AddRow(name,
+                    {mse_before.mean(), mse_after.mean(),
+                     hits_before.count() ? hits_before.mean() : 0.0,
+                     hits_after.count() ? hits_after.mean() : 0.0});
+    ++ctx.report.rows;
     if ((cell + 1) % per_attack == 0 && cell + 1 < cells.size())
-      table.AddSeparator();
+      ctx.sink.AddSeparator();
   }
-  table.Print();
-  return 0;
+  ctx.sink.EndTable();
+  ++ctx.report.tables;
+  return Status::Ok();
 }
+
+}  // namespace
+
+void RegisterExtProtocols(ScenarioRegistry& registry) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = "ext_protocols";
+  spec.title =
+      "ext_protocols: recovery across all five protocols (GRR/OUE/OLH + "
+      "SUE/BLH)";
+  spec.artifact = "extension";
+  spec.metric_desc = "MSE and targets in top-10";
+  spec.datasets = {"ipums"};
+  spec.protocols.assign(std::begin(kExtendedProtocolKinds),
+                        std::end(kExtendedProtocolKinds));
+  spec.attacks = {AttackKind::kMga, AttackKind::kAdaptive};
+  spec.columns = {"MSE before", "MSE after", "top10 before", "top10 after"};
+  spec.custom = true;
+  scenario.run = RunExtProtocols;
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

@@ -1,0 +1,38 @@
+// Figure 3: MSE of Before-recovery, Detection, LDPRecover, and
+// LDPRecover* across two datasets, three LDP protocols, and three
+// attacks (Manip-GRR, MGA-{GRR,OUE,OLH}, AA-{GRR,OUE,OLH}), at the
+// paper defaults eps = 0.5, beta = 0.05, r = 10, eta = 0.2.
+
+#include "scenarios.h"
+
+namespace ldpr {
+namespace bench {
+
+void RegisterFig3(ScenarioRegistry& registry) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = "fig3";
+  spec.title = "fig3: Figure 3 — recovery accuracy (MSE)";
+  spec.artifact = "Figure 3";
+  spec.metric_desc = "MSE";
+  spec.datasets = {"ipums", "fire"};
+  spec.cells = {
+      {AttackKind::kManip, ProtocolKind::kGrr},
+      {AttackKind::kMga, ProtocolKind::kGrr},
+      {AttackKind::kMga, ProtocolKind::kOue},
+      {AttackKind::kMga, ProtocolKind::kOlh},
+      {AttackKind::kAdaptive, ProtocolKind::kGrr},
+      {AttackKind::kAdaptive, ProtocolKind::kOue},
+      {AttackKind::kAdaptive, ProtocolKind::kOlh},
+  };
+  spec.columns = {"Before", "Detection", "LDPRecover", "LDPRecover*"};
+  scenario.format_row = [](const std::vector<ExperimentResult>& r) {
+    return std::vector<double>{
+        r[0].mse_before.mean(), r[0].mse_detection.mean(),
+        r[0].mse_recover.mean(), r[0].mse_recover_star.mean()};
+  };
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

@@ -1,0 +1,35 @@
+// Figure 4: frequency gain (FG) of the MGA targeted attack before
+// recovery and under Detection / LDPRecover / LDPRecover*, for both
+// datasets and all three protocols.
+
+#include <iterator>
+
+#include "ldp/factory.h"
+#include "scenarios.h"
+
+namespace ldpr {
+namespace bench {
+
+void RegisterFig4(ScenarioRegistry& registry) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = "fig4";
+  spec.title = "fig4: Figure 4 — targeted attack frequency gain";
+  spec.artifact = "Figure 4";
+  spec.metric_desc = "frequency gain under MGA";
+  spec.datasets = {"ipums", "fire"};
+  spec.protocols.assign(std::begin(kAllProtocolKinds),
+                        std::end(kAllProtocolKinds));
+  spec.attacks = {AttackKind::kMga};
+  spec.row_label_prefix = "MGA-";
+  spec.columns = {"Before", "Detection", "LDPRecover", "LDPRecover*"};
+  scenario.format_row = [](const std::vector<ExperimentResult>& r) {
+    return std::vector<double>{r[0].fg_before.mean(), r[0].fg_detection.mean(),
+                               r[0].fg_recover.mean(),
+                               r[0].fg_recover_star.mean()};
+  };
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

@@ -1,0 +1,37 @@
+// Figure 7: MSE between the malicious frequencies estimated by
+// LDPRecover / LDPRecover* and the true malicious frequencies, under
+// MGA on IPUMS, sweeping beta in [0.05, 0.25].
+
+#include <iterator>
+
+#include "ldp/factory.h"
+#include "scenarios.h"
+
+namespace ldpr {
+namespace bench {
+
+void RegisterFig7(ScenarioRegistry& registry) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = "fig7";
+  spec.title =
+      "fig7: Figure 7 — estimated vs true malicious frequencies";
+  spec.artifact = "Figure 7";
+  spec.metric_desc = "malicious frequency estimation MSE";
+  spec.datasets = {"ipums"};
+  spec.protocols.assign(std::begin(kAllProtocolKinds),
+                        std::end(kAllProtocolKinds));
+  spec.attacks = {AttackKind::kMga};
+  spec.protocol_tag = "MGA-";
+  spec.sweeps = {{SweepParam::kBeta, {0.05, 0.10, 0.15, 0.20, 0.25}}};
+  spec.columns = {"LDPRecover", "LDPRecover*"};
+  spec.defaults.run_detection = false;
+  scenario.format_row = [](const std::vector<ExperimentResult>& r) {
+    return std::vector<double>{r[0].mse_malicious_recover.mean(),
+                               r[0].mse_malicious_recover_star.mean()};
+  };
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

@@ -1,0 +1,38 @@
+// Table I: MSE of LDPRecover executed on *unpoisoned* frequencies
+// (beta = 0) — the cost of running recovery when no attack happened,
+// for both datasets and all three protocols.
+//
+// The paper's pattern: GRR improves (its raw estimates are noisy
+// enough that the simplex refinement helps), while OUE/OLH regress
+// toward the recovery floor.  This is a full-scale effect; run with
+// --scale=1 to see it cleanly.
+
+#include <iterator>
+
+#include "ldp/factory.h"
+#include "scenarios.h"
+
+namespace ldpr {
+namespace bench {
+
+void RegisterTable1(ScenarioRegistry& registry) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = "table1";
+  spec.title = "table1: Table I — recovery cost without an attack";
+  spec.artifact = "Table I";
+  spec.metric_desc = "LDPRecover on unpoisoned frequencies";
+  spec.datasets = {"ipums", "fire"};
+  spec.protocols.assign(std::begin(kAllProtocolKinds),
+                        std::end(kAllProtocolKinds));
+  spec.attacks = {AttackKind::kNone};
+  spec.columns = {"Before-Rec", "After-Rec"};
+  scenario.format_row = [](const std::vector<ExperimentResult>& r) {
+    return std::vector<double>{r[0].mse_before.mean(),
+                               r[0].mse_recover.mean()};
+  };
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

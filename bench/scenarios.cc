@@ -1,0 +1,25 @@
+#include "scenarios.h"
+
+namespace ldpr {
+namespace bench {
+
+void RegisterAllScenarios() {
+  static const bool registered = [] {
+    ScenarioRegistry& registry = ScenarioRegistry::Global();
+    RegisterTable1(registry);
+    RegisterFig3(registry);
+    RegisterFig4(registry);
+    RegisterFig5Fig6(registry);
+    RegisterFig7(registry);
+    RegisterFig8(registry);
+    RegisterFig9(registry);
+    RegisterFig10(registry);
+    RegisterAblation(registry);
+    RegisterExtProtocols(registry);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace bench
+}  // namespace ldpr

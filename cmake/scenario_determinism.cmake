@@ -1,0 +1,82 @@
+# Runs `ldpr_bench --scenario ${SCENARIO} --out` twice —
+# LDPR_THREADS=1 and LDPR_THREADS=3 — at a tiny scale and fails unless
+# the result files (results.csv, results.jsonl) and the console tables
+# are byte-identical.  The banner line reporting the thread count is
+# stripped from the console comparison (it is the only output that
+# legitimately depends on LDPR_THREADS); the manifest is excluded for
+# the same reason.
+#
+# Usage: cmake -DLDPR_BENCH=<path> -DSCENARIO=<id> -DWORK_DIR=<dir>
+#        -P scenario_determinism.cmake
+
+if(NOT LDPR_BENCH OR NOT SCENARIO OR NOT WORK_DIR)
+  message(FATAL_ERROR "LDPR_BENCH, SCENARIO, and WORK_DIR must be set")
+endif()
+
+set(ENV{LDPR_BENCH_SCALE} "0.02")
+set(ENV{LDPR_BENCH_TRIALS} "2")
+
+set(out_serial "${WORK_DIR}/${SCENARIO}-t1")
+set(out_parallel "${WORK_DIR}/${SCENARIO}-t3")
+file(REMOVE_RECURSE "${out_serial}" "${out_parallel}")
+
+set(ENV{LDPR_THREADS} "1")
+execute_process(COMMAND ${LDPR_BENCH} --scenario=${SCENARIO}
+                        --out=${out_serial}
+                OUTPUT_VARIABLE console_serial RESULT_VARIABLE rc_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR
+          "${LDPR_BENCH} --scenario=${SCENARIO} failed at LDPR_THREADS=1 "
+          "(rc=${rc_serial})")
+endif()
+
+set(ENV{LDPR_THREADS} "3")
+execute_process(COMMAND ${LDPR_BENCH} --scenario=${SCENARIO}
+                        --out=${out_parallel}
+                OUTPUT_VARIABLE console_parallel RESULT_VARIABLE rc_parallel)
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR
+          "${LDPR_BENCH} --scenario=${SCENARIO} failed at LDPR_THREADS=3 "
+          "(rc=${rc_parallel})")
+endif()
+
+# Console tables must match modulo the threads banner line (and the
+# printed --out paths, which name different directories).
+string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" console_serial
+       "${console_serial}")
+string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" console_parallel
+       "${console_parallel}")
+string(REGEX REPLACE "wrote [^\n]*\n" "" console_serial "${console_serial}")
+string(REGEX REPLACE "wrote [^\n]*\n" "" console_parallel
+       "${console_parallel}")
+if(NOT console_serial STREQUAL console_parallel)
+  message(FATAL_ERROR
+          "${SCENARIO}: console output differs between LDPR_THREADS=1 and 3\n"
+          "--- threads=1 ---\n${console_serial}\n"
+          "--- threads=3 ---\n${console_parallel}")
+endif()
+
+# Result files must be byte-identical.
+foreach(result_file results.csv results.jsonl)
+  set(serial_path "${out_serial}/${SCENARIO}/${result_file}")
+  set(parallel_path "${out_parallel}/${SCENARIO}/${result_file}")
+  if(NOT EXISTS "${serial_path}" OR NOT EXISTS "${parallel_path}")
+    message(FATAL_ERROR "${SCENARIO}: missing ${result_file} under --out")
+  endif()
+  file(READ "${serial_path}" bytes_serial)
+  file(READ "${parallel_path}" bytes_parallel)
+  if(NOT bytes_serial STREQUAL bytes_parallel)
+    message(FATAL_ERROR
+            "${SCENARIO}: ${result_file} differs between LDPR_THREADS=1 "
+            "and 3\n--- threads=1 ---\n${bytes_serial}\n"
+            "--- threads=3 ---\n${bytes_parallel}")
+  endif()
+endforeach()
+
+# The manifest must at least exist and name the scenario.
+if(NOT EXISTS "${out_serial}/${SCENARIO}/manifest.json")
+  message(FATAL_ERROR "${SCENARIO}: manifest.json missing under --out")
+endif()
+
+message(STATUS
+        "${SCENARIO}: byte-identical results at LDPR_THREADS=1 and 3")

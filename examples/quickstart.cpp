@@ -3,9 +3,11 @@
 //   1. users perturb their items with an LDP protocol (GRR here);
 //   2. an attacker injects crafted reports (MGA promoting item 7);
 //   3. the server aggregates a *poisoned* frequency estimate;
-//   4. LDPRecover repairs it without knowing anything about the attack.
+//   4. LDPRecover repairs it without knowing anything about the attack;
+//   5. (optional) the summary persists through a machine-readable
+//      ResultSink — the same CSV layer `ldpr_bench --out` writes.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart [results.csv]
 
 #include <cstdio>
 #include <memory>
@@ -14,10 +16,11 @@
 #include "data/synthetic.h"
 #include "ldp/grr.h"
 #include "recover/ldprecover.h"
+#include "runner/result_sink.h"
 #include "util/metrics.h"
 #include "util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ldpr;
 
   // A population of 50,000 users over 16 items, Zipf-distributed.
@@ -72,5 +75,26 @@ int main() {
       "%+.4f\n",
       poisoned[7] - truth[7], recovered[7] - truth[7],
       recovered_star[7] - truth[7]);
+
+  // 5. Machine-readable results, if a path was given.  Every scenario
+  //    and tool writes through this interface; Finish() fails on
+  //    partial writes, so checking it is part of the contract.
+  if (argc > 1) {
+    CsvSink sink(argv[1]);
+    ScenarioRunInfo info;
+    info.id = "quickstart";
+    sink.BeginScenario(info);
+    sink.BeginTable("quickstart MSE vs truth",
+                    {"poisoned", "ldprecover", "ldprecover_star"});
+    sink.AddRow("mse", {Mse(truth, poisoned), Mse(truth, recovered),
+                        Mse(truth, recovered_star)});
+    sink.EndTable();
+    const Status status = sink.Finish();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", argv[1]);
+  }
   return 0;
 }

@@ -170,6 +170,35 @@ void DetectionFilter::OfferSampledGenuine(
   }
 }
 
+void DetectionFilter::OfferSampledGenuineSharded(
+    const std::vector<uint64_t>& item_counts, uint64_t seed, size_t shards) {
+  const size_t d = protocol_.domain_size();
+  LDPR_CHECK(item_counts.size() == d);
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+
+  // Every per-protocol sampler decomposes over user subsets (the
+  // closed-form laws are products over independent users; streaming
+  // is per-user by construction), so each chunk runs the ordinary
+  // OfferSampledGenuine on its restricted histogram through a local
+  // filter and exports its kept support counts plus — in one extra
+  // trailing slot — its kept-report count.
+  const std::vector<double> merged = ShardedSupportCounts(
+      n, d + 1, seed, shards,
+      [&](uint64_t begin, uint64_t end, Rng& rng) {
+        DetectionFilter local(protocol_, targets_);
+        local.OfferSampledGenuine(
+            RestrictItemCountsToUsers(item_counts, begin, end), rng);
+        std::vector<double> partial = std::move(local.kept_counts_);
+        partial.push_back(static_cast<double>(local.kept_));
+        return partial;
+      });
+
+  offered_ += n;
+  kept_ += static_cast<size_t>(merged[d]);
+  for (size_t v = 0; v < d; ++v) kept_counts_[v] += merged[v];
+}
+
 std::vector<double> DetectionFilter::Estimate() const {
   LDPR_CHECK(kept_ > 0);
   return protocol_.EstimateFrequencies(kept_counts_, kept_);

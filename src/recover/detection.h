@@ -51,6 +51,18 @@ class DetectionFilter {
   void OfferSampledGenuine(const std::vector<uint64_t>& item_counts,
                            Rng& rng);
 
+  /// Sharded OfferSampledGenuine on the ShardedSupportCounts
+  /// scaffold: the canonical user population splits into fixed-size
+  /// chunks, chunk c filters + aggregates on Rng(DeriveSeed(seed, c)),
+  /// and the partial kept counts merge in chunk order across `shards`
+  /// pool workers (0 = auto).  Byte-identical at every shard count;
+  /// this removes the last serial per-trial aggregation path (the OLH
+  /// per-user streaming filter) from million-user Detection trials.
+  /// Draws are keyed by `seed`, not a caller Rng, so the caller's
+  /// stream is shard-independent (same pattern as RunPoisoningTrial).
+  void OfferSampledGenuineSharded(const std::vector<uint64_t>& item_counts,
+                                  uint64_t seed, size_t shards);
+
   /// Reports seen / kept so far.
   size_t offered() const { return offered_; }
   size_t kept() const { return kept_; }

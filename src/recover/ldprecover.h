@@ -63,7 +63,7 @@ struct RecoverOptions {
 
   /// Ablation switch: skip Step 2's malicious-frequency subtraction
   /// (treat f~_Y as all-zero), keeping only the (1 + eta) rescale and
-  /// the simplex refinement.  Used by bench_ablation_recovery.
+  /// the simplex refinement.  Used by the ablation scenario.
   bool ablate_no_subtraction = false;
 
   /// Ablation switch: skip Step 3's KKT simplex refinement and return

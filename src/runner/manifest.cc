@@ -1,0 +1,101 @@
+#include "runner/manifest.h"
+
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace ldpr {
+
+std::string GitDescribe() {
+#ifdef LDPR_GIT_DESCRIBE
+  return LDPR_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+RunManifest MakeRunManifest(const ScenarioSpec& spec,
+                            const ScenarioRunInfo& info,
+                            const ScenarioRunReport& report,
+                            std::vector<std::string> files) {
+  RunManifest manifest;
+  manifest.scenario_id = spec.id;
+  manifest.artifact = spec.artifact;
+  manifest.title = spec.title;
+  manifest.seed = info.seed;
+  manifest.scale = info.scale;
+  manifest.trials = info.trials;
+  manifest.threads = info.threads;
+  manifest.outer_workers = report.outer_workers;
+  manifest.shards = report.shards;
+  manifest.tables = report.tables;
+  manifest.rows = report.rows;
+  manifest.git_describe = GitDescribe();
+  manifest.datasets = info.datasets;
+  manifest.files = std::move(files);
+  return manifest;
+}
+
+std::string ManifestToJson(const RunManifest& manifest) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("scenario");
+  w.String(manifest.scenario_id);
+  w.Key("artifact");
+  w.String(manifest.artifact);
+  w.Key("title");
+  w.String(manifest.title);
+  w.Key("seed");
+  w.UInt(manifest.seed);
+  w.Key("scale");
+  w.Number(manifest.scale);
+  w.Key("trials");
+  w.UInt(manifest.trials);
+  w.Key("threads");
+  w.UInt(manifest.threads);
+  w.Key("outer_workers");
+  w.UInt(manifest.outer_workers);
+  w.Key("shards");
+  w.UInt(manifest.shards);
+  w.Key("tables");
+  w.UInt(manifest.tables);
+  w.Key("rows");
+  w.UInt(manifest.rows);
+  w.Key("git_describe");
+  w.String(manifest.git_describe);
+  w.Key("datasets");
+  w.BeginArray();
+  for (const auto& ds : manifest.datasets) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(ds.display);
+    w.Key("domain_size");
+    w.UInt(ds.domain_size);
+    w.Key("num_users");
+    w.UInt(ds.num_users);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("files");
+  w.BeginArray();
+  for (const std::string& file : manifest.files) w.String(file);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteManifest(const std::string& path, const RunManifest& manifest) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr)
+    return InternalError("cannot open for writing: " + path);
+  const std::string json = ManifestToJson(manifest) + "\n";
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  const bool flushed = std::fflush(file) == 0 && std::ferror(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !flushed || !closed)
+    return InternalError("partial manifest write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace ldpr

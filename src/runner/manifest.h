@@ -1,0 +1,61 @@
+// Per-run manifest: the machine-readable sidecar `ldpr_bench --out`
+// writes next to each scenario's result files, recording everything
+// needed to regenerate or diff a figure across machines — scenario
+// id, seed, scale, trials, thread budget and its top-level split,
+// the git version of the binary, and the resolved dataset sizes.
+//
+// The manifest deliberately carries the *machine-dependent* facts
+// (threads, split) so they stay out of the result files, which must
+// diff clean across thread counts.
+
+#ifndef LDPR_RUNNER_MANIFEST_H_
+#define LDPR_RUNNER_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/registry.h"
+#include "runner/result_sink.h"
+#include "util/status.h"
+
+namespace ldpr {
+
+/// The version stamp compiled into the binary (CMake runs
+/// `git describe --always --dirty` at configure time; "unknown" when
+/// built outside a git checkout).
+std::string GitDescribe();
+
+struct RunManifest {
+  std::string scenario_id;
+  std::string artifact;
+  std::string title;
+  uint64_t seed = 0;
+  double scale = 0;
+  size_t trials = 0;
+  size_t threads = 0;
+  size_t outer_workers = 0;
+  size_t shards = 0;
+  size_t tables = 0;
+  size_t rows = 0;
+  std::string git_describe;
+  std::vector<ScenarioRunInfo::DatasetInfo> datasets;
+  /// Result files, relative to the manifest's directory.
+  std::vector<std::string> files;
+};
+
+/// Assembles the manifest of one completed scenario run.
+RunManifest MakeRunManifest(const ScenarioSpec& spec,
+                            const ScenarioRunInfo& info,
+                            const ScenarioRunReport& report,
+                            std::vector<std::string> files);
+
+/// Serializes the manifest as pretty-stable single-line JSON.
+std::string ManifestToJson(const RunManifest& manifest);
+
+/// Writes the manifest to `path`, failing on partial writes.
+Status WriteManifest(const std::string& path, const RunManifest& manifest);
+
+}  // namespace ldpr
+
+#endif  // LDPR_RUNNER_MANIFEST_H_

@@ -1,0 +1,37 @@
+#include "runner/registry.h"
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(Scenario scenario) {
+  LDPR_CHECK(!scenario.spec.id.empty());
+  LDPR_CHECK(Find(scenario.spec.id) == nullptr);
+  if (scenario.spec.custom) {
+    LDPR_CHECK(scenario.run != nullptr);
+  } else {
+    LDPR_CHECK(scenario.format_row != nullptr);
+  }
+  scenarios_.push_back(std::make_unique<Scenario>(std::move(scenario)));
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& id) const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario->spec.id == id) return scenario.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::scenarios() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) out.push_back(scenario.get());
+  return out;
+}
+
+}  // namespace ldpr

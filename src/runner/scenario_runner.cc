@@ -1,0 +1,171 @@
+#include "runner/scenario_runner.h"
+
+#include <cstdlib>
+
+#include "data/synthetic.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace ldpr {
+
+double DefaultBenchScale() {
+  const char* env = std::getenv("LDPR_BENCH_SCALE");
+  if (env == nullptr) return 0.05;
+  return Clamp(std::atof(env), 1e-4, 1.0);
+}
+
+size_t DefaultBenchTrials() {
+  const char* env = std::getenv("LDPR_BENCH_TRIALS");
+  if (env == nullptr) return 3;
+  const long v = std::atol(env);
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+StatusOr<Dataset> ResolveBenchDataset(const std::string& name, double scale) {
+  if (scale <= 0.0 || scale > 1.0)
+    return InvalidArgumentError("dataset scale out of (0, 1]");
+  Dataset dataset;
+  if (name == "ipums") {
+    dataset = MakeIpumsLike();
+  } else if (name == "fire") {
+    dataset = MakeFireLike();
+  } else if (name == "zipf") {
+    dataset = MakeZipfDataset("zipf", /*d=*/102, /*n=*/100000, /*s=*/1.0,
+                              /*shuffle_seed=*/17);
+  } else if (name == "uniform") {
+    dataset = MakeUniformDataset("uniform", /*d=*/102, /*n=*/100000);
+  } else {
+    return InvalidArgumentError("unknown scenario dataset: " + name);
+  }
+  return ScaleDataset(dataset, scale);
+}
+
+std::string BenchDatasetDisplayName(const std::string& name) {
+  if (name == "ipums") return "IPUMS-like";
+  if (name == "fire") return "Fire-like";
+  return name;
+}
+
+std::vector<ExperimentResult> RunExperimentGrid(
+    const std::vector<ExperimentConfig>& configs, const Dataset& dataset,
+    ThreadBudget* budget_out) {
+  // Split the pool between the configuration fan-out and each
+  // experiment's own trial fan-out (the shared SplitThreadBudget
+  // policy); the remainder of the division goes to the first configs
+  // so no worker sits idle (results don't depend on thread counts,
+  // so this stays deterministic).
+  const size_t threads = DefaultThreadCount();
+  const ThreadBudget budget = SplitThreadBudget(threads, configs.size());
+  if (budget_out != nullptr) *budget_out = budget;
+  const size_t used = budget.inner * budget.outer;
+  const size_t remainder = threads > used ? threads - used : 0;
+
+  std::vector<ExperimentResult> results(configs.size());
+  ParallelFor(budget.outer, configs.size(), [&](size_t i) {
+    ExperimentConfig config = configs[i];
+    config.threads = budget.inner + (i < remainder ? 1 : 0);
+    results[i] = RunExperiment(config, dataset);
+  });
+  return results;
+}
+
+namespace {
+
+// Runs a lowered grid scenario: per dataset, the configs of every
+// table batch into one RunExperimentGrid call (so the pool sees the
+// whole per-dataset grid at once, as the old sweep benches did), then
+// rows format and emit in lowering order.
+Status RunGridScenario(const Scenario& scenario, const LoweredScenario& lowered,
+                       const std::vector<Dataset>& datasets,
+                       ScenarioContext& ctx) {
+  const std::vector<std::string>& columns = scenario.spec.columns;
+  for (size_t ds = 0; ds < datasets.size(); ++ds) {
+    std::vector<ExperimentConfig> batch;
+    for (const LoweredTable& table : lowered.tables) {
+      if (table.dataset_index != ds) continue;
+      for (const LoweredRow& row : table.rows)
+        batch.insert(batch.end(), row.configs.begin(), row.configs.end());
+    }
+    if (batch.empty()) continue;
+    // Every dataset lowers to the same config count, so the split the
+    // grid engine reports for any batch speaks for the whole run.
+    ThreadBudget budget;
+    const std::vector<ExperimentResult> results =
+        RunExperimentGrid(batch, datasets[ds], &budget);
+    ctx.report.outer_workers = budget.outer;
+    ctx.report.shards = budget.inner;
+
+    size_t next = 0;
+    for (const LoweredTable& table : lowered.tables) {
+      if (table.dataset_index != ds) continue;
+      ctx.sink.BeginTable(table.title, columns);
+      for (const LoweredRow& row : table.rows) {
+        std::vector<ExperimentResult> row_results(
+            results.begin() + next, results.begin() + next + row.configs.size());
+        next += row.configs.size();
+        const std::vector<double> values = scenario.format_row(row_results);
+        LDPR_CHECK(values.size() == columns.size());
+        ctx.sink.AddRow(row.label, values);
+        ++ctx.report.rows;
+      }
+      ctx.sink.EndTable();
+      ++ctx.report.tables;
+    }
+    LDPR_CHECK(next == results.size());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ScenarioRunReport> RunScenario(const Scenario& scenario,
+                                        const ScenarioRunOptions& options,
+                                        ResultSink& sink) {
+  const ScenarioSpec& spec = scenario.spec;
+  Status valid = ValidateScenarioSpec(spec);
+  if (!valid.ok()) return valid;
+
+  const uint64_t seed = options.seed != 0 ? options.seed : spec.defaults.seed;
+  const size_t trials =
+      options.trials != 0 ? options.trials : DefaultBenchTrials();
+  const double scale = options.scale != 0 ? options.scale : DefaultBenchScale();
+  const size_t threads = DefaultThreadCount();
+
+  // Resolve every declared dataset up front — the banner reports
+  // their scaled sizes and the grid engine runs against them.
+  std::vector<Dataset> datasets;
+  ScenarioRunInfo info;
+  info.id = spec.id;
+  info.title = spec.title;
+  info.seed = seed;
+  info.scale = scale;
+  info.trials = trials;
+  info.threads = threads;
+  for (const std::string& name : spec.datasets) {
+    auto dataset = ResolveBenchDataset(name, scale);
+    if (!dataset.ok()) return dataset.status();
+    info.datasets.push_back({BenchDatasetDisplayName(name),
+                             dataset->domain_size(), dataset->num_users()});
+    datasets.push_back(std::move(*dataset));
+  }
+  sink.BeginScenario(info);
+
+  ScenarioRunReport report;
+  report.info = info;
+  ScenarioContext ctx{spec,    seed, trials, scale, threads,
+                      datasets, sink, report};
+
+  if (spec.custom) {
+    Status status = scenario.run(ctx);
+    if (!status.ok()) return status;
+    return report;
+  }
+
+  auto lowered = LowerScenario(spec, trials, seed);
+  if (!lowered.ok()) return lowered.status();
+  Status status = RunGridScenario(scenario, *lowered, datasets, ctx);
+  if (!status.ok()) return status;
+  return report;
+}
+
+}  // namespace ldpr

@@ -95,7 +95,11 @@ TrialMetrics RunTrialWithProtocol(const FrequencyProtocol& protocol,
             filter.Offer(protocol.Perturb(item, rng));
         }
       } else {
-        filter.OfferSampledGenuine(dataset.item_counts, rng);
+        // One seed drawn from the trial stream keys the sharded
+        // filter fan-out, so the trial's draw count — and the filter
+        // output — are independent of the shard count.
+        filter.OfferSampledGenuineSharded(dataset.item_counts, rng.Next(),
+                                          config.pipeline.shards);
       }
       filter.OfferAll(t.malicious_reports);
       if (filter.kept() > 0) {

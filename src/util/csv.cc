@@ -51,14 +51,8 @@ StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
   return rows;
 }
 
-namespace {
-
-bool NeedsQuoting(const std::string& field) {
-  return field.find_first_of(",\"\n") != std::string::npos;
-}
-
-std::string QuoteField(const std::string& field) {
-  if (!NeedsQuoting(field)) return field;
+std::string QuoteCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
   std::string out = "\"";
   for (char c : field) {
     if (c == '"') out += "\"\"";
@@ -68,10 +62,8 @@ std::string QuoteField(const std::string& field) {
   return out;
 }
 
-}  // namespace
-
 CsvWriter::CsvWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")) {}
+    : file_(std::fopen(path.c_str(), "w")), opened_(file_ != nullptr) {}
 
 CsvWriter::~CsvWriter() {
   if (file_ != nullptr) std::fclose(file_);
@@ -79,12 +71,28 @@ CsvWriter::~CsvWriter() {
 
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   if (file_ == nullptr) return;
+  std::string line;
   for (size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) std::fputc(',', file_);
-    const std::string quoted = QuoteField(fields[i]);
-    std::fwrite(quoted.data(), 1, quoted.size(), file_);
+    if (i > 0) line.push_back(',');
+    line += QuoteCsvField(fields[i]);
   }
-  std::fputc('\n', file_);
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+    write_error_ = true;
+}
+
+bool CsvWriter::Close() {
+  if (closed_) return close_result_;
+  closed_ = true;
+  if (file_ == nullptr) {
+    close_result_ = false;
+    return false;
+  }
+  const bool flushed = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+  const bool closed_ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  close_result_ = !write_error_ && flushed && closed_ok;
+  return close_result_;
 }
 
 void CsvWriter::WriteNumericRow(const std::string& label,

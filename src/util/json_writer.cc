@@ -1,0 +1,135 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  LDPR_CHECK(result.ec == std::errc());
+  return std::string(buf, result.ptr);
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already positioned us
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_.push_back(',');
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  LDPR_CHECK(!need_comma_.empty() && !after_key_);
+  need_comma_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  LDPR_CHECK(!need_comma_.empty() && !after_key_);
+  need_comma_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(const std::string& key) {
+  LDPR_CHECK(!need_comma_.empty() && !after_key_);
+  if (need_comma_.back()) out_.push_back(',');
+  need_comma_.back() = true;
+  out_.push_back('"');
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += JsonEscape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  out_ += JsonNumber(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+}  // namespace ldpr

@@ -1,0 +1,72 @@
+// Minimal streaming JSON emitter used by the machine-readable result
+// sinks (JSONL rows, run manifests).  No parsing, no DOM — just a
+// correct, deterministic serializer: keys/values are written in call
+// order, doubles render via the shortest round-trip representation,
+// so identical inputs always produce identical bytes (the property
+// the scenario determinism tests diff).
+
+#ifndef LDPR_UTIL_JSON_WRITER_H_
+#define LDPR_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldpr {
+
+/// Escapes a string for use inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+/// Shortest decimal representation that round-trips to the same
+/// double (std::to_chars).  NaN/Inf — which JSON cannot represent —
+/// render as "null".
+std::string JsonNumber(double value);
+
+/// Incremental JSON value builder.  Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("scenario"); w.String("fig3");
+///   w.Key("values"); w.BeginArray(); w.Number(0.5); w.EndArray();
+///   w.EndObject();
+///   out = w.str();
+///
+/// Commas and colons are inserted automatically; the caller owns
+/// well-formedness (every Key followed by exactly one value, matched
+/// Begin/End pairs — violations abort via LDPR_CHECK).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be inside an object and followed by a
+  /// value (or a Begin*).
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Number(double value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// The serialized value so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  // Called before any value/key token: writes the pending comma.
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: whether the next element needs a
+  // leading comma.
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_UTIL_JSON_WRITER_H_

@@ -1,8 +1,9 @@
 // Paper-style result-table rendering for the benchmark harness.
 //
-// Every bench_fig* / bench_table* binary prints its results through
-// TablePrinter so that the console output mirrors the rows/series the
-// paper reports (method x setting -> metric).
+// The scenario layer's ConsoleSink (runner/result_sink.h) renders
+// every ldpr_bench table through TablePrinter so that the console
+// output mirrors the rows/series the paper reports (method x setting
+// -> metric).
 
 #ifndef LDPR_UTIL_TABLE_H_
 #define LDPR_UTIL_TABLE_H_

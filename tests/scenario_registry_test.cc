@@ -1,0 +1,214 @@
+// Registry round-trip for the scenario layer: every id ldpr_bench
+// --list reports resolves back through the registry, every grid spec
+// lowers to a valid ExperimentConfig grid whose shape matches the
+// declared columns, and a real (tiny) scenario run produces the
+// CSV/JSONL/manifest triple the --out contract promises.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/manifest.h"
+#include "runner/result_sink.h"
+#include "runner/scenario_runner.h"
+#include "scenarios.h"
+#include "util/csv.h"
+
+namespace ldpr {
+namespace bench {
+namespace {
+
+class ScenarioRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterAllScenarios(); }
+};
+
+const char* const kExpectedIds[] = {
+    "table1", "fig3",  "fig4",     "fig5",     "fig6",         "fig7",
+    "fig8",   "fig9",  "fig10",    "ablation", "ext_protocols"};
+
+TEST_F(ScenarioRegistryTest, EveryListedIdResolves) {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+  std::set<std::string> listed;
+  for (const Scenario* scenario : registry.scenarios()) {
+    EXPECT_EQ(registry.Find(scenario->spec.id), scenario);
+    EXPECT_TRUE(listed.insert(scenario->spec.id).second)
+        << "duplicate id " << scenario->spec.id;
+  }
+  for (const char* id : kExpectedIds) {
+    EXPECT_NE(registry.Find(id), nullptr) << id;
+  }
+  EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);
+  EXPECT_EQ(registry.size(), std::size(kExpectedIds));
+}
+
+TEST_F(ScenarioRegistryTest, RegistrationIsIdempotent) {
+  const size_t before = ScenarioRegistry::Global().size();
+  RegisterAllScenarios();
+  EXPECT_EQ(ScenarioRegistry::Global().size(), before);
+}
+
+TEST_F(ScenarioRegistryTest, SpecsValidateAndGridSpecsLower) {
+  for (const Scenario* scenario : ScenarioRegistry::Global().scenarios()) {
+    const ScenarioSpec& spec = scenario->spec;
+    EXPECT_TRUE(ValidateScenarioSpec(spec).ok()) << spec.id;
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_FALSE(spec.columns.empty()) << spec.id;
+    for (const std::string& name : spec.datasets) {
+      EXPECT_TRUE(ResolveBenchDataset(name, 0.01).ok())
+          << spec.id << " dataset " << name;
+    }
+    if (spec.custom) {
+      EXPECT_NE(scenario->run, nullptr) << spec.id;
+      // Custom scenarios own their loop; lowering must refuse them.
+      EXPECT_FALSE(LowerScenario(spec, 2, 7).ok()) << spec.id;
+      continue;
+    }
+    ASSERT_NE(scenario->format_row, nullptr) << spec.id;
+
+    const auto lowered = LowerScenario(spec, /*trials=*/2, /*seed=*/7);
+    ASSERT_TRUE(lowered.ok()) << spec.id << ": "
+                              << lowered.status().ToString();
+    EXPECT_FALSE(lowered->tables.empty()) << spec.id;
+    size_t configs_seen = 0;
+    for (const LoweredTable& table : lowered->tables) {
+      EXPECT_FALSE(table.title.empty()) << spec.id;
+      EXPECT_LT(table.dataset_index, spec.datasets.size()) << spec.id;
+      EXPECT_FALSE(table.rows.empty()) << spec.id;
+      for (const LoweredRow& row : table.rows) {
+        EXPECT_FALSE(row.label.empty()) << spec.id;
+        ASSERT_FALSE(row.configs.empty()) << spec.id;
+        configs_seen += row.configs.size();
+        for (const ExperimentConfig& config : row.configs) {
+          EXPECT_GT(config.epsilon, 0.0) << spec.id;
+          EXPECT_GE(config.pipeline.beta, 0.0) << spec.id;
+          EXPECT_LT(config.pipeline.beta, 1.0) << spec.id;
+          EXPECT_GT(config.eta, 0.0) << spec.id;
+          EXPECT_EQ(config.trials, 2u) << spec.id;
+          EXPECT_EQ(config.seed, 7u) << spec.id;
+        }
+        // The row formatter must produce exactly the declared
+        // columns from this row's result vector.
+        const std::vector<ExperimentResult> dummy(row.configs.size());
+        EXPECT_EQ(scenario->format_row(dummy).size(), spec.columns.size())
+            << spec.id;
+      }
+    }
+    EXPECT_EQ(configs_seen, lowered->config_count) << spec.id;
+  }
+}
+
+TEST_F(ScenarioRegistryTest, LoweringMatchesPaperGridShapes) {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+  // fig3: one 7-row table per dataset.
+  const auto fig3 = LowerScenario(registry.Find("fig3")->spec, 1, 1);
+  ASSERT_TRUE(fig3.ok());
+  ASSERT_EQ(fig3->tables.size(), 2u);
+  EXPECT_EQ(fig3->tables[0].rows.size(), 7u);
+  EXPECT_EQ(fig3->tables[0].title, "Figure 3 (IPUMS): MSE");
+  EXPECT_EQ(fig3->tables[0].rows[0].label, "Manip-GRR");
+  // fig5: 3 protocols x 3 sweeps, 5 rows each, IPUMS only.
+  const auto fig5 = LowerScenario(registry.Find("fig5")->spec, 1, 1);
+  ASSERT_TRUE(fig5.ok());
+  ASSERT_EQ(fig5->tables.size(), 9u);
+  EXPECT_EQ(fig5->tables[0].title, "Fig 5/6 (IPUMS, AA-GRR): MSE vs beta");
+  EXPECT_EQ(fig5->tables[0].rows.size(), 5u);
+  EXPECT_EQ(fig5->tables[0].rows[0].label, "beta=0.001");
+  // fig8: two configs per row (MGA vs MGA-IPA column pair).
+  const auto fig8 = LowerScenario(registry.Find("fig8")->spec, 1, 1);
+  ASSERT_TRUE(fig8.ok());
+  ASSERT_EQ(fig8->tables.size(), 3u);
+  ASSERT_EQ(fig8->tables[0].rows[0].configs.size(), 2u);
+  EXPECT_EQ(fig8->tables[0].rows[0].configs[0].pipeline.attack,
+            AttackKind::kMga);
+  EXPECT_EQ(fig8->tables[0].rows[0].configs[1].pipeline.attack,
+            AttackKind::kMgaIpa);
+  // fig10: the multi-attacker count reaches the pipeline config.
+  const auto fig10 = LowerScenario(registry.Find("fig10")->spec, 1, 1);
+  ASSERT_TRUE(fig10.ok());
+  EXPECT_EQ(fig10->tables[0].title,
+            "Figure 10 (IPUMS, MUL-AA-GRR, 5 attackers): MSE");
+  EXPECT_EQ(fig10->tables[0].rows[0].configs[0].pipeline.num_attackers, 5u);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(ScenarioRegistryTest, TinyRunProducesCsvJsonlAndManifest) {
+  const Scenario* table1 = ScenarioRegistry::Global().Find("table1");
+  ASSERT_NE(table1, nullptr);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ldpr_registry_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<std::unique_ptr<ResultSink>> sinks;
+  sinks.push_back(std::make_unique<CsvSink>(dir + "/results.csv"));
+  sinks.push_back(std::make_unique<JsonlSink>(dir + "/results.jsonl"));
+  MultiSink sink(std::move(sinks));
+
+  ScenarioRunOptions options;
+  options.seed = 99;
+  options.trials = 1;
+  options.scale = 0.002;
+  const auto report = RunScenario(*table1, options, sink);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(sink.Finish().ok());
+  // Two datasets x one table x three protocol rows.
+  EXPECT_EQ(report->tables, 2u);
+  EXPECT_EQ(report->rows, 6u);
+
+  const std::string csv = ReadFileOrDie(dir + "/results.csv");
+  // Header + 6 data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+  EXPECT_NE(csv.find("scenario,table,row,Before-Rec,After-Rec"),
+            std::string::npos);
+  EXPECT_NE(csv.find("table1,Table I (IPUMS): LDPRecover on unpoisoned "
+                     "frequencies,GRR,"),
+            std::string::npos);
+  const std::string jsonl = ReadFileOrDie(dir + "/results.jsonl");
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 6);
+  EXPECT_NE(jsonl.find("{\"scenario\":\"table1\",\"table\":\"Table I "
+                       "(IPUMS): LDPRecover on unpoisoned frequencies\","
+                       "\"row\":\"GRR\",\"values\":{\"Before-Rec\":"),
+            std::string::npos);
+
+  // Manifest round-trip: fields survive serialization.
+  ScenarioRunInfo info;
+  info.seed = options.seed;
+  info.scale = options.scale;
+  info.trials = options.trials;
+  info.threads = 4;
+  RunManifest manifest = MakeRunManifest(table1->spec, info, *report,
+                                         {"results.csv", "results.jsonl"});
+  ASSERT_TRUE(WriteManifest(dir + "/manifest.json", manifest).ok());
+  const std::string json = ReadFileOrDie(dir + "/manifest.json");
+  EXPECT_NE(json.find("\"scenario\":\"table1\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":0.002"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(json.find("\"files\":[\"results.csv\",\"results.jsonl\"]"),
+            std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ldpr

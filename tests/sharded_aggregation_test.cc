@@ -15,6 +15,7 @@
 #include "data/synthetic.h"
 #include "ldp/factory.h"
 #include "ldp/harmony.h"
+#include "recover/detection.h"
 #include "sim/experiment.h"
 #include "sim/pipeline.h"
 #include "util/random.h"
@@ -188,6 +189,51 @@ TEST(ShardedAggregationTest, ExperimentBudgetSplitDoesNotChangeResults) {
         << "threads=" << threads;
     EXPECT_EQ(parallel.mse_recover.mean(), serial.mse_recover.mean());
     EXPECT_EQ(parallel.fg_recover.mean(), serial.fg_recover.mean());
+  }
+}
+
+TEST(ShardedAggregationTest, DetectionFilterIdenticalAcrossShardCounts) {
+  // The sharded Detection fast path — the last per-trial aggregation
+  // that used to stream serially (OLH/BLH) — must be byte-identical
+  // at any shard count for every protocol the factory builds.
+  const Dataset dataset = MakeZipfDataset("z", /*d=*/40, /*n=*/300000,
+                                          /*s=*/1.0, /*shuffle_seed=*/9);
+  const std::vector<ItemId> targets = {1, 5, 9, 13, 17, 21, 25, 29, 33, 37};
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto protocol = MakeProtocol(kind, dataset.domain_size(), 0.5);
+    DetectionFilter reference(*protocol, targets);
+    reference.OfferSampledGenuineSharded(dataset.item_counts, 41, 1);
+    ASSERT_EQ(reference.offered(), dataset.num_users())
+        << ProtocolKindName(kind);
+    ASSERT_GT(reference.kept(), 0u) << ProtocolKindName(kind);
+    ASSERT_LE(reference.kept(), reference.offered())
+        << ProtocolKindName(kind);
+    for (size_t shards : kShardCounts) {
+      DetectionFilter filter(*protocol, targets);
+      filter.OfferSampledGenuineSharded(dataset.item_counts, 41, shards);
+      EXPECT_EQ(filter.offered(), reference.offered())
+          << ProtocolKindName(kind) << " shards=" << shards;
+      EXPECT_EQ(filter.kept(), reference.kept())
+          << ProtocolKindName(kind) << " shards=" << shards;
+      EXPECT_EQ(filter.Estimate(), reference.Estimate())
+          << ProtocolKindName(kind) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedAggregationTest, DetectionShardedEstimateIsSane) {
+  // Sanity anchor for the sharded filter's law: with GRR the filter
+  // only zeroes target rows, so non-target frequencies estimated from
+  // the kept sample stay close to truth at n = 300k.
+  const Dataset dataset = MakeZipfDataset("z", /*d=*/40, /*n=*/300000,
+                                          /*s=*/1.0, /*shuffle_seed=*/9);
+  const std::vector<double> truth = dataset.TrueFrequencies();
+  const auto grr = MakeProtocol(ProtocolKind::kGrr, dataset.domain_size(), 0.5);
+  DetectionFilter filter(*grr, {3});
+  filter.OfferSampledGenuineSharded(dataset.item_counts, 43, 8);
+  const std::vector<double> estimate = filter.Estimate();
+  for (ItemId v : {ItemId(0), ItemId(7), ItemId(20)}) {
+    EXPECT_NEAR(estimate[v], truth[v], 0.1) << "item " << v;
   }
 }
 

@@ -18,22 +18,25 @@
 // --zipf_s [1.0], --epsilon [0.5], --beta [0.05], --eta [0.2],
 // --targets [10], --trials [5], --seed [1], --scale [1.0],
 // --top_k [10], --threads [0 = auto: LDPR_THREADS or hardware
-// concurrency; 1 = serial], --out CSV (append machine-readable
-// results).  Results are bit-identical at any --threads value.
+// concurrency; 1 = serial], --out FILE (machine-readable results via
+// the runner ResultSink: CSV, or JSONL when FILE ends in .jsonl; the
+// run fails on partial writes).  Results are bit-identical at any
+// --threads value.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "data/loader.h"
 #include "data/synthetic.h"
 #include "ldp/factory.h"
 #include "recover/ldprecover.h"
 #include "recover/outlier.h"
+#include "runner/result_sink.h"
 #include "sim/experiment.h"
 #include "tasks/heavy_hitters.h"
-#include "util/csv.h"
 #include "util/flags.h"
-#include "util/table.h"
 
 namespace ldpr {
 namespace {
@@ -91,7 +94,7 @@ int Run(int argc, char** argv) {
   const auto scale = flags.GetDouble("scale", 1.0);
   const auto top_k = flags.GetInt("top_k", 10);
   const auto threads = flags.GetInt("threads", 0);
-  const std::string out_csv = flags.GetString("out", "");
+  const std::string out_path = flags.GetString("out", "");
 
   for (const Status& status :
        {protocol_or.ok() ? Status::Ok() : protocol_or.status(),
@@ -137,24 +140,55 @@ int Run(int argc, char** argv) {
               config.epsilon, config.pipeline.beta, config.eta,
               config.trials);
 
+  // The console table and the optional --out file are two sinks over
+  // one row stream, so the file always mirrors what was printed.
+  // Opened before the experiment so a bad path fails in milliseconds,
+  // not after a paper-scale run.
+  std::vector<std::unique_ptr<ResultSink>> sinks;
+  sinks.push_back(std::make_unique<ConsoleSink>());
+  if (!out_path.empty()) {
+    const bool jsonl = out_path.size() >= 6 &&
+                       out_path.compare(out_path.size() - 6, 6, ".jsonl") == 0;
+    if (jsonl) {
+      auto out_sink = std::make_unique<JsonlSink>(out_path);
+      if (!out_sink->ok()) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      sinks.push_back(std::move(out_sink));
+    } else {
+      auto out_sink = std::make_unique<CsvSink>(out_path);
+      if (!out_sink->ok()) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      sinks.push_back(std::move(out_sink));
+    }
+  }
+  MultiSink sink(std::move(sinks));
+  {
+    ScenarioRunInfo info;
+    info.id = "cli";
+    sink.BeginScenario(info);
+  }
+
   const ExperimentResult r = RunExperiment(config, dataset);
 
-  TablePrinter table("Recovery accuracy",
-                     {"MSE", "FG", "samples"});
-  table.AddRow("Before", {r.mse_before.mean(), r.fg_before.mean(),
-                          static_cast<double>(r.mse_before.count())});
+  sink.BeginTable("Recovery accuracy", {"MSE", "FG", "samples"});
+  sink.AddRow("Before", {r.mse_before.mean(), r.fg_before.mean(),
+                         static_cast<double>(r.mse_before.count())});
   if (r.mse_detection.count() > 0) {
-    table.AddRow("Detection", {r.mse_detection.mean(), r.fg_detection.mean(),
-                               static_cast<double>(r.mse_detection.count())});
+    sink.AddRow("Detection", {r.mse_detection.mean(), r.fg_detection.mean(),
+                              static_cast<double>(r.mse_detection.count())});
   }
-  table.AddRow("LDPRecover", {r.mse_recover.mean(), r.fg_recover.mean(),
-                              static_cast<double>(r.mse_recover.count())});
+  sink.AddRow("LDPRecover", {r.mse_recover.mean(), r.fg_recover.mean(),
+                             static_cast<double>(r.mse_recover.count())});
   if (r.mse_recover_star.count() > 0) {
-    table.AddRow("LDPRecover*",
-                 {r.mse_recover_star.mean(), r.fg_recover_star.mean(),
-                  static_cast<double>(r.mse_recover_star.count())});
+    sink.AddRow("LDPRecover*",
+                {r.mse_recover_star.mean(), r.fg_recover_star.mean(),
+                 static_cast<double>(r.mse_recover_star.count())});
   }
-  table.Print();
+  sink.EndTable();
 
   // Task-level view: how intact is the published top-k?
   // (single representative trial for the ranking illustration)
@@ -180,22 +214,12 @@ int Run(int argc, char** argv) {
                 t.attack_targets.size());
   }
 
-  if (!out_csv.empty()) {
-    CsvWriter writer(out_csv);
-    if (!writer.ok()) {
-      std::fprintf(stderr, "error: cannot write %s\n", out_csv.c_str());
-      return 1;
-    }
-    writer.WriteRow({"method", "mse", "fg"});
-    writer.WriteNumericRow("before", {r.mse_before.mean(), r.fg_before.mean()});
-    writer.WriteNumericRow("detection", {r.mse_detection.mean(),
-                                         r.fg_detection.mean()});
-    writer.WriteNumericRow("ldprecover",
-                           {r.mse_recover.mean(), r.fg_recover.mean()});
-    writer.WriteNumericRow("ldprecover_star", {r.mse_recover_star.mean(),
-                                               r.fg_recover_star.mean()});
-    std::printf("\nwrote %s\n", out_csv.c_str());
+  const Status finish = sink.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "error: %s\n", finish.ToString().c_str());
+    return 1;
   }
+  if (!out_path.empty()) std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }
 
