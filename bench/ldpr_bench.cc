@@ -7,7 +7,9 @@
 //   ldpr_bench --scenario fig3,table1
 //
 //   # Machine-readable run: per-scenario results.csv / results.jsonl
-//   # plus a manifest.json recording seed/scale/threads/git version:
+//   # plus a manifest.json recording seed/scale/threads/git version,
+//   # and a top-level results/manifest.json indexing the whole tree
+//   # (the input ldpr_diff compares across runs):
 //   ldpr_bench --scenario fig3 --out results/
 //
 //   # Paper fidelity:
@@ -67,8 +69,10 @@ void PrintScenarioList() {
 
 // A sink forwarding the banner to the console only: the console child
 // of a --out run prints it, while the data files stay banner-free.
+// On --out runs the completed scenario is appended to `tree` for the
+// top-level tree manifest.
 int RunScenarioById(const std::string& id, const ScenarioRunOptions& options,
-                    const std::string& out_dir) {
+                    const std::string& out_dir, TreeManifest& tree) {
   const Scenario* scenario = ScenarioRegistry::Global().Find(id);
   if (scenario == nullptr) {
     std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
@@ -126,6 +130,15 @@ int RunScenarioById(const std::string& id, const ScenarioRunOptions& options,
                    written.ToString().c_str());
       return 1;
     }
+    TreeManifest::Entry entry;
+    entry.id = id;
+    entry.seed = report->info.seed;
+    entry.scale = report->info.scale;
+    entry.trials = report->info.trials;
+    for (const std::string& file : manifest.files)
+      entry.files.push_back(id + "/" + file);
+    entry.files.push_back(id + "/manifest.json");
+    tree.scenarios.push_back(std::move(entry));
     std::printf("wrote %s/{results.csv,results.jsonl,manifest.json}\n\n",
                 scenario_dir.c_str());
   }
@@ -192,9 +205,24 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: --scenario list is empty (try --list)\n");
     return 1;
   }
+  TreeManifest tree;
+  tree.git_describe = GitDescribe();
   for (const std::string& id : ids) {
-    const int rc = RunScenarioById(id, options, out_dir);
+    const int rc = RunScenarioById(id, options, out_dir, tree);
     if (rc != 0) return rc;
+  }
+  if (!out_dir.empty()) {
+    // The top-level manifest makes the tree self-describing for
+    // ldpr_diff: which scenarios ran, under which knobs, into which
+    // files.
+    const Status written =
+        WriteTreeManifest(out_dir + "/manifest.json", tree);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/manifest.json (%zu scenario%s)\n", out_dir.c_str(),
+                tree.scenarios.size(), tree.scenarios.size() == 1 ? "" : "s");
   }
   return 0;
 }

@@ -16,6 +16,8 @@ void RegisterAllScenarios() {
     RegisterFig10(registry);
     RegisterAblation(registry);
     RegisterExtProtocols(registry);
+    RegisterScalingN(registry);
+    RegisterScalingD(registry);
     return true;
   }();
   (void)registered;

@@ -25,6 +25,8 @@ void RegisterFig9(ScenarioRegistry& registry);
 void RegisterFig10(ScenarioRegistry& registry);
 void RegisterAblation(ScenarioRegistry& registry);
 void RegisterExtProtocols(ScenarioRegistry& registry);
+void RegisterScalingN(ScenarioRegistry& registry);
+void RegisterScalingD(ScenarioRegistry& registry);
 
 /// Registers every paper figure/table scenario into the global
 /// registry, in the order `ldpr_bench --list` reports them.  Safe to

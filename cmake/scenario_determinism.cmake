@@ -1,12 +1,19 @@
 # Runs `ldpr_bench --scenario ${SCENARIO} --out` twice —
 # LDPR_THREADS=1 and LDPR_THREADS=3 — at a tiny scale and fails unless
-# the result files (results.csv, results.jsonl) and the console tables
-# are byte-identical.  The banner line reporting the thread count is
-# stripped from the console comparison (it is the only output that
-# legitimately depends on LDPR_THREADS); the manifest is excluded for
-# the same reason.
+# the two runs agree:
+#
+#   - LDPR_DIFF (when set): the result trees must pass
+#     `ldpr_diff --exact`, which joins rows by (scenario, table, row)
+#     and exempts the timing columns each scenario's manifest
+#     declares — the only columns that may legitimately differ.
+#   - Unless HAS_TIMING_COLUMNS: the result files must additionally
+#     be byte-identical and the console tables equal (the banner line
+#     reporting the thread count is stripped; scenarios with timing
+#     columns skip both, since wall clocks differ between any two
+#     runs).
 #
 # Usage: cmake -DLDPR_BENCH=<path> -DSCENARIO=<id> -DWORK_DIR=<dir>
+#        [-DLDPR_DIFF=<path>] [-DHAS_TIMING_COLUMNS=1]
 #        -P scenario_determinism.cmake
 
 if(NOT LDPR_BENCH OR NOT SCENARIO OR NOT WORK_DIR)
@@ -40,43 +47,61 @@ if(NOT rc_parallel EQUAL 0)
           "(rc=${rc_parallel})")
 endif()
 
-# Console tables must match modulo the threads banner line (and the
-# printed --out paths, which name different directories).
-string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" console_serial
-       "${console_serial}")
-string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" console_parallel
-       "${console_parallel}")
-string(REGEX REPLACE "wrote [^\n]*\n" "" console_serial "${console_serial}")
-string(REGEX REPLACE "wrote [^\n]*\n" "" console_parallel
-       "${console_parallel}")
-if(NOT console_serial STREQUAL console_parallel)
-  message(FATAL_ERROR
-          "${SCENARIO}: console output differs between LDPR_THREADS=1 and 3\n"
-          "--- threads=1 ---\n${console_serial}\n"
-          "--- threads=3 ---\n${console_parallel}")
+# The comparator view: row-joined, timing columns exempt.
+if(LDPR_DIFF)
+  execute_process(COMMAND ${LDPR_DIFF} --exact ${out_serial} ${out_parallel}
+                  OUTPUT_VARIABLE diff_out ERROR_VARIABLE diff_err
+                  RESULT_VARIABLE rc_diff)
+  if(NOT rc_diff EQUAL 0)
+    message(FATAL_ERROR
+            "${SCENARIO}: ldpr_diff --exact failed between LDPR_THREADS=1 "
+            "and 3 (rc=${rc_diff})\n${diff_out}\n${diff_err}")
+  endif()
 endif()
 
-# Result files must be byte-identical.
-foreach(result_file results.csv results.jsonl)
-  set(serial_path "${out_serial}/${SCENARIO}/${result_file}")
-  set(parallel_path "${out_parallel}/${SCENARIO}/${result_file}")
-  if(NOT EXISTS "${serial_path}" OR NOT EXISTS "${parallel_path}")
-    message(FATAL_ERROR "${SCENARIO}: missing ${result_file} under --out")
-  endif()
-  file(READ "${serial_path}" bytes_serial)
-  file(READ "${parallel_path}" bytes_parallel)
-  if(NOT bytes_serial STREQUAL bytes_parallel)
+if(NOT HAS_TIMING_COLUMNS)
+  # Console tables must match modulo the threads banner line (and the
+  # printed --out paths, which name different directories).
+  string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" console_serial
+         "${console_serial}")
+  string(REGEX REPLACE "[^\n]*threads=[^\n]*\n" "" console_parallel
+         "${console_parallel}")
+  string(REGEX REPLACE "wrote [^\n]*\n" "" console_serial
+         "${console_serial}")
+  string(REGEX REPLACE "wrote [^\n]*\n" "" console_parallel
+         "${console_parallel}")
+  if(NOT console_serial STREQUAL console_parallel)
     message(FATAL_ERROR
-            "${SCENARIO}: ${result_file} differs between LDPR_THREADS=1 "
-            "and 3\n--- threads=1 ---\n${bytes_serial}\n"
-            "--- threads=3 ---\n${bytes_parallel}")
+            "${SCENARIO}: console output differs between LDPR_THREADS=1 "
+            "and 3\n--- threads=1 ---\n${console_serial}\n"
+            "--- threads=3 ---\n${console_parallel}")
   endif()
-endforeach()
 
-# The manifest must at least exist and name the scenario.
+  # Result files must be byte-identical.
+  foreach(result_file results.csv results.jsonl)
+    set(serial_path "${out_serial}/${SCENARIO}/${result_file}")
+    set(parallel_path "${out_parallel}/${SCENARIO}/${result_file}")
+    if(NOT EXISTS "${serial_path}" OR NOT EXISTS "${parallel_path}")
+      message(FATAL_ERROR "${SCENARIO}: missing ${result_file} under --out")
+    endif()
+    file(READ "${serial_path}" bytes_serial)
+    file(READ "${parallel_path}" bytes_parallel)
+    if(NOT bytes_serial STREQUAL bytes_parallel)
+      message(FATAL_ERROR
+              "${SCENARIO}: ${result_file} differs between LDPR_THREADS=1 "
+              "and 3\n--- threads=1 ---\n${bytes_serial}\n"
+              "--- threads=3 ---\n${bytes_parallel}")
+    endif()
+  endforeach()
+endif()
+
+# The manifests must at least exist and name the scenario.
 if(NOT EXISTS "${out_serial}/${SCENARIO}/manifest.json")
   message(FATAL_ERROR "${SCENARIO}: manifest.json missing under --out")
 endif()
+if(NOT EXISTS "${out_serial}/manifest.json")
+  message(FATAL_ERROR "${SCENARIO}: top-level manifest.json missing")
+endif()
 
 message(STATUS
-        "${SCENARIO}: byte-identical results at LDPR_THREADS=1 and 3")
+        "${SCENARIO}: deterministic at LDPR_THREADS=1 vs 3")

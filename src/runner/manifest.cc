@@ -32,6 +32,8 @@ RunManifest MakeRunManifest(const ScenarioSpec& spec,
   manifest.rows = report.rows;
   manifest.git_describe = GitDescribe();
   manifest.datasets = info.datasets;
+  manifest.columns = spec.columns;
+  manifest.timing_columns = spec.timing_columns;
   manifest.files = std::move(files);
   return manifest;
 }
@@ -39,6 +41,8 @@ RunManifest MakeRunManifest(const ScenarioSpec& spec,
 std::string ManifestToJson(const RunManifest& manifest) {
   JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version");
+  w.Int(manifest.schema_version);
   w.Key("scenario");
   w.String(manifest.scenario_id);
   w.Key("artifact");
@@ -76,6 +80,14 @@ std::string ManifestToJson(const RunManifest& manifest) {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("columns");
+  w.BeginArray();
+  for (const std::string& column : manifest.columns) w.String(column);
+  w.EndArray();
+  w.Key("timing_columns");
+  w.BeginArray();
+  for (const std::string& column : manifest.timing_columns) w.String(column);
+  w.EndArray();
   w.Key("files");
   w.BeginArray();
   for (const std::string& file : manifest.files) w.String(file);
@@ -84,11 +96,13 @@ std::string ManifestToJson(const RunManifest& manifest) {
   return w.str();
 }
 
-Status WriteManifest(const std::string& path, const RunManifest& manifest) {
+namespace {
+
+Status WriteJsonLine(const std::string& path, const std::string& body) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr)
     return InternalError("cannot open for writing: " + path);
-  const std::string json = ManifestToJson(manifest) + "\n";
+  const std::string json = body + "\n";
   const bool wrote =
       std::fwrite(json.data(), 1, json.size(), file) == json.size();
   const bool flushed = std::fflush(file) == 0 && std::ferror(file) == 0;
@@ -96,6 +110,49 @@ Status WriteManifest(const std::string& path, const RunManifest& manifest) {
   if (!wrote || !flushed || !closed)
     return InternalError("partial manifest write: " + path);
   return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteManifest(const std::string& path, const RunManifest& manifest) {
+  return WriteJsonLine(path, ManifestToJson(manifest));
+}
+
+std::string TreeManifestToJson(const TreeManifest& manifest) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(manifest.schema_version);
+  w.Key("kind");
+  w.String("ldpr_result_tree");
+  w.Key("git_describe");
+  w.String(manifest.git_describe);
+  w.Key("scenarios");
+  w.BeginArray();
+  for (const TreeManifest::Entry& entry : manifest.scenarios) {
+    w.BeginObject();
+    w.Key("id");
+    w.String(entry.id);
+    w.Key("seed");
+    w.UInt(entry.seed);
+    w.Key("scale");
+    w.Number(entry.scale);
+    w.Key("trials");
+    w.UInt(entry.trials);
+    w.Key("files");
+    w.BeginArray();
+    for (const std::string& file : entry.files) w.String(file);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteTreeManifest(const std::string& path,
+                         const TreeManifest& manifest) {
+  return WriteJsonLine(path, TreeManifestToJson(manifest));
 }
 
 }  // namespace ldpr

@@ -26,7 +26,15 @@ namespace ldpr {
 /// built outside a git checkout).
 std::string GitDescribe();
 
+/// Manifest schema version.  v2 added `schema_version` itself, the
+/// spec's `columns`/`timing_columns` (so comparators know which
+/// columns are wall-clock measurements), and the top-level tree
+/// manifest `ldpr_bench --out` writes next to the scenario dirs.
+/// Readers treat a missing version as v1.
+inline constexpr int kManifestSchemaVersion = 2;
+
 struct RunManifest {
+  int schema_version = kManifestSchemaVersion;
   std::string scenario_id;
   std::string artifact;
   std::string title;
@@ -40,6 +48,11 @@ struct RunManifest {
   size_t rows = 0;
   std::string git_describe;
   std::vector<ScenarioRunInfo::DatasetInfo> datasets;
+  /// The spec's output columns, and the subset holding wall-clock
+  /// measurements (ldpr_diff excludes the latter from exact
+  /// comparisons).
+  std::vector<std::string> columns;
+  std::vector<std::string> timing_columns;
   /// Result files, relative to the manifest's directory.
   std::vector<std::string> files;
 };
@@ -55,6 +68,30 @@ std::string ManifestToJson(const RunManifest& manifest);
 
 /// Writes the manifest to `path`, failing on partial writes.
 Status WriteManifest(const std::string& path, const RunManifest& manifest);
+
+/// The top-level manifest `ldpr_bench --out DIR` writes at
+/// DIR/manifest.json, summarizing every scenario run of the
+/// invocation so the tree is self-describing for ldpr_diff.
+struct TreeManifest {
+  int schema_version = kManifestSchemaVersion;
+  std::string git_describe;
+  struct Entry {
+    std::string id;
+    uint64_t seed = 0;
+    double scale = 0;
+    size_t trials = 0;
+    /// Result files, relative to the tree root ("fig3/results.csv").
+    std::vector<std::string> files;
+  };
+  std::vector<Entry> scenarios;
+};
+
+/// Serializes the tree manifest as single-line JSON.
+std::string TreeManifestToJson(const TreeManifest& manifest);
+
+/// Writes the tree manifest to `path`, failing on partial writes.
+Status WriteTreeManifest(const std::string& path,
+                         const TreeManifest& manifest);
 
 }  // namespace ldpr
 

@@ -21,29 +21,78 @@ size_t DefaultBenchTrials() {
   return v < 1 ? 1 : static_cast<size_t>(v);
 }
 
-StatusOr<Dataset> ResolveBenchDataset(const std::string& name, double scale) {
+namespace {
+
+// The registered bench dataset generators.  A generator owns its
+// default shape; the resizable synthetic families additionally accept
+// per-row d/n overrides (the scaling-law dataset axes), while the
+// paper's fixed-shape stand-ins reject them.
+struct BenchDatasetGenerator {
+  const char* name;
+  const char* display;
+  bool resizable;
+  size_t default_d;
+  uint64_t default_n;
+  Dataset (*make)(size_t d, uint64_t n);
+};
+
+constexpr size_t kSyntheticDefaultD = 102;
+constexpr uint64_t kSyntheticDefaultN = 100000;
+
+Dataset MakeIpumsBench(size_t, uint64_t) { return MakeIpumsLike(); }
+Dataset MakeFireBench(size_t, uint64_t) { return MakeFireLike(); }
+Dataset MakeZipfBench(size_t d, uint64_t n) {
+  return MakeZipfDataset("zipf", d, n, /*s=*/1.0, /*shuffle_seed=*/17);
+}
+Dataset MakeUniformBench(size_t d, uint64_t n) {
+  return MakeUniformDataset("uniform", d, n);
+}
+
+constexpr BenchDatasetGenerator kBenchDatasetGenerators[] = {
+    {"ipums", "IPUMS-like", false, 0, 0, MakeIpumsBench},
+    {"fire", "Fire-like", false, 0, 0, MakeFireBench},
+    {"zipf", "zipf", true, kSyntheticDefaultD, kSyntheticDefaultN,
+     MakeZipfBench},
+    {"uniform", "uniform", true, kSyntheticDefaultD, kSyntheticDefaultN,
+     MakeUniformBench},
+};
+
+const BenchDatasetGenerator* FindBenchDatasetGenerator(
+    const std::string& name) {
+  for (const BenchDatasetGenerator& gen : kBenchDatasetGenerators) {
+    if (name == gen.name) return &gen;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ResolveBenchDataset(const std::string& name, double scale,
+                                      size_t d_override,
+                                      uint64_t n_override) {
   if (scale <= 0.0 || scale > 1.0)
     return InvalidArgumentError("dataset scale out of (0, 1]");
-  Dataset dataset;
-  if (name == "ipums") {
-    dataset = MakeIpumsLike();
-  } else if (name == "fire") {
-    dataset = MakeFireLike();
-  } else if (name == "zipf") {
-    dataset = MakeZipfDataset("zipf", /*d=*/102, /*n=*/100000, /*s=*/1.0,
-                              /*shuffle_seed=*/17);
-  } else if (name == "uniform") {
-    dataset = MakeUniformDataset("uniform", /*d=*/102, /*n=*/100000);
-  } else {
+  const BenchDatasetGenerator* gen = FindBenchDatasetGenerator(name);
+  if (gen == nullptr)
     return InvalidArgumentError("unknown scenario dataset: " + name);
-  }
-  return ScaleDataset(dataset, scale);
+  if ((d_override != 0 || n_override != 0) && !gen->resizable)
+    return InvalidArgumentError(
+        "dataset '" + name +
+        "' has a fixed shape and accepts no d/n overrides (use a "
+        "synthetic generator for dataset-axis sweeps)");
+  const size_t d = d_override != 0 ? d_override : gen->default_d;
+  const uint64_t n = n_override != 0 ? n_override : gen->default_n;
+  return ScaleDataset(gen->make(d, n), scale);
+}
+
+bool BenchDatasetResizable(const std::string& name) {
+  const BenchDatasetGenerator* gen = FindBenchDatasetGenerator(name);
+  return gen != nullptr && gen->resizable;
 }
 
 std::string BenchDatasetDisplayName(const std::string& name) {
-  if (name == "ipums") return "IPUMS-like";
-  if (name == "fire") return "Fire-like";
-  return name;
+  const BenchDatasetGenerator* gen = FindBenchDatasetGenerator(name);
+  return gen != nullptr ? gen->display : name;
 }
 
 std::vector<ExperimentResult> RunExperimentGrid(
@@ -71,47 +120,108 @@ std::vector<ExperimentResult> RunExperimentGrid(
 
 namespace {
 
-// Runs a lowered grid scenario: per dataset, the configs of every
-// table batch into one RunExperimentGrid call (so the pool sees the
-// whole per-dataset grid at once, as the old sweep benches did), then
-// rows format and emit in lowering order.
+// Runs a lowered grid scenario.  Per dataset, rows group by their
+// dataset *variant* — the row-level n/d overrides of the scaling-law
+// axes; rows without overrides share the pre-resolved dataset — and
+// each variant's configs batch into one RunExperimentGrid call (so
+// the pool still sees whole grids at once, as the old sweep benches
+// did).  Results scatter back to their (table, row) slots and emit in
+// lowering order, so the sink output is independent of the grouping.
 Status RunGridScenario(const Scenario& scenario, const LoweredScenario& lowered,
                        const std::vector<Dataset>& datasets,
                        ScenarioContext& ctx) {
   const std::vector<std::string>& columns = scenario.spec.columns;
-  for (size_t ds = 0; ds < datasets.size(); ++ds) {
-    std::vector<ExperimentConfig> batch;
-    for (const LoweredTable& table : lowered.tables) {
-      if (table.dataset_index != ds) continue;
-      for (const LoweredRow& row : table.rows)
-        batch.insert(batch.end(), row.configs.begin(), row.configs.end());
-    }
-    if (batch.empty()) continue;
-    // Every dataset lowers to the same config count, so the split the
-    // grid engine reports for any batch speaks for the whole run.
-    ThreadBudget budget;
-    const std::vector<ExperimentResult> results =
-        RunExperimentGrid(batch, datasets[ds], &budget);
-    ctx.report.outer_workers = budget.outer;
-    ctx.report.shards = budget.inner;
+  std::vector<std::vector<std::vector<ExperimentResult>>> results(
+      lowered.tables.size());
+  for (size_t t = 0; t < lowered.tables.size(); ++t)
+    results[t].resize(lowered.tables[t].rows.size());
 
-    size_t next = 0;
-    for (const LoweredTable& table : lowered.tables) {
+  // The manifest records one representative thread split; the largest
+  // batch's split is the one that dominated the run.
+  size_t largest_batch = 0;
+  for (size_t ds = 0; ds < datasets.size(); ++ds) {
+    struct RowRef {
+      size_t table;
+      size_t row;
+    };
+    struct Variant {
+      uint64_t n;
+      size_t d;
+      std::vector<RowRef> rows;
+    };
+    std::vector<Variant> variants;  // first-appearance order
+    for (size_t t = 0; t < lowered.tables.size(); ++t) {
+      const LoweredTable& table = lowered.tables[t];
       if (table.dataset_index != ds) continue;
-      ctx.sink.BeginTable(table.title, columns);
-      for (const LoweredRow& row : table.rows) {
-        std::vector<ExperimentResult> row_results(
-            results.begin() + next, results.begin() + next + row.configs.size());
-        next += row.configs.size();
-        const std::vector<double> values = scenario.format_row(row_results);
-        LDPR_CHECK(values.size() == columns.size());
-        ctx.sink.AddRow(row.label, values);
-        ++ctx.report.rows;
+      for (size_t r = 0; r < table.rows.size(); ++r) {
+        const LoweredRow& row = table.rows[r];
+        Variant* variant = nullptr;
+        for (Variant& v : variants) {
+          if (v.n == row.n_override && v.d == row.d_override) {
+            variant = &v;
+            break;
+          }
+        }
+        if (variant == nullptr) {
+          variants.push_back({row.n_override, row.d_override, {}});
+          variant = &variants.back();
+        }
+        variant->rows.push_back({t, r});
       }
-      ctx.sink.EndTable();
-      ++ctx.report.tables;
     }
-    LDPR_CHECK(next == results.size());
+
+    for (const Variant& variant : variants) {
+      std::vector<ExperimentConfig> batch;
+      for (const RowRef& ref : variant.rows) {
+        const std::vector<ExperimentConfig>& configs =
+            lowered.tables[ref.table].rows[ref.row].configs;
+        batch.insert(batch.end(), configs.begin(), configs.end());
+      }
+      if (batch.empty()) continue;
+
+      Dataset resized;
+      const Dataset* dataset = &datasets[ds];
+      if (variant.n != 0 || variant.d != 0) {
+        auto resolved = ResolveBenchDataset(ctx.spec.datasets[ds], ctx.scale,
+                                            variant.d, variant.n);
+        if (!resolved.ok()) return resolved.status();
+        resized = std::move(*resolved);
+        dataset = &resized;
+      }
+
+      ThreadBudget budget;
+      const std::vector<ExperimentResult> batch_results =
+          RunExperimentGrid(batch, *dataset, &budget);
+      if (batch.size() >= largest_batch) {
+        largest_batch = batch.size();
+        ctx.report.outer_workers = budget.outer;
+        ctx.report.shards = budget.inner;
+      }
+
+      size_t next = 0;
+      for (const RowRef& ref : variant.rows) {
+        const size_t count =
+            lowered.tables[ref.table].rows[ref.row].configs.size();
+        results[ref.table][ref.row].assign(batch_results.begin() + next,
+                                           batch_results.begin() + next +
+                                               count);
+        next += count;
+      }
+      LDPR_CHECK(next == batch_results.size());
+    }
+  }
+
+  for (size_t t = 0; t < lowered.tables.size(); ++t) {
+    const LoweredTable& table = lowered.tables[t];
+    ctx.sink.BeginTable(table.title, columns);
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      const std::vector<double> values = scenario.format_row(results[t][r]);
+      LDPR_CHECK(values.size() == columns.size());
+      ctx.sink.AddRow(table.rows[r].label, values);
+      ++ctx.report.rows;
+    }
+    ctx.sink.EndTable();
+    ++ctx.report.tables;
   }
   return Status::Ok();
 }
@@ -131,8 +241,28 @@ StatusOr<ScenarioRunReport> RunScenario(const Scenario& scenario,
   const double scale = options.scale != 0 ? options.scale : DefaultBenchScale();
   const size_t threads = DefaultThreadCount();
 
+  // Grid scenarios lower before the banner renders: a dataset whose
+  // every row overrides the shape (the dataset-axis sweeps) never
+  // runs at its default size, and the banner/manifest should say so
+  // rather than present the default as a run shape.
+  LoweredScenario lowered;
+  std::vector<bool> runs_default_shape(spec.datasets.size(), true);
+  if (!spec.custom) {
+    auto lowered_or = LowerScenario(spec, trials, seed);
+    if (!lowered_or.ok()) return lowered_or.status();
+    lowered = std::move(*lowered_or);
+    runs_default_shape.assign(spec.datasets.size(), false);
+    for (const LoweredTable& table : lowered.tables) {
+      for (const LoweredRow& row : table.rows) {
+        if (row.n_override == 0 && row.d_override == 0)
+          runs_default_shape[table.dataset_index] = true;
+      }
+    }
+  }
+
   // Resolve every declared dataset up front — the banner reports
-  // their scaled sizes and the grid engine runs against them.
+  // their scaled sizes and the grid engine runs against them (rows
+  // with shape overrides resolve their variants later).
   std::vector<Dataset> datasets;
   ScenarioRunInfo info;
   info.id = spec.id;
@@ -141,11 +271,13 @@ StatusOr<ScenarioRunReport> RunScenario(const Scenario& scenario,
   info.scale = scale;
   info.trials = trials;
   info.threads = threads;
-  for (const std::string& name : spec.datasets) {
-    auto dataset = ResolveBenchDataset(name, scale);
+  for (size_t ds = 0; ds < spec.datasets.size(); ++ds) {
+    auto dataset = ResolveBenchDataset(spec.datasets[ds], scale);
     if (!dataset.ok()) return dataset.status();
-    info.datasets.push_back({BenchDatasetDisplayName(name),
-                             dataset->domain_size(), dataset->num_users()});
+    std::string display = BenchDatasetDisplayName(spec.datasets[ds]);
+    if (!runs_default_shape[ds]) display += " (shape swept per row)";
+    info.datasets.push_back(
+        {std::move(display), dataset->domain_size(), dataset->num_users()});
     datasets.push_back(std::move(*dataset));
   }
   sink.BeginScenario(info);
@@ -161,9 +293,7 @@ StatusOr<ScenarioRunReport> RunScenario(const Scenario& scenario,
     return report;
   }
 
-  auto lowered = LowerScenario(spec, trials, seed);
-  if (!lowered.ok()) return lowered.status();
-  Status status = RunGridScenario(scenario, *lowered, datasets, ctx);
+  Status status = RunGridScenario(scenario, lowered, datasets, ctx);
   if (!status.ok()) return status;
   return report;
 }

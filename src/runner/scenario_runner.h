@@ -41,9 +41,20 @@ double DefaultBenchScale();
 /// LDPR_BENCH_TRIALS, at least 1; default 3.
 size_t DefaultBenchTrials();
 
-/// Builds the dataset a spec names — "ipums", "fire", "zipf",
-/// "uniform" — scaled by `scale`.
-StatusOr<Dataset> ResolveBenchDataset(const std::string& name, double scale);
+/// Builds the dataset a spec names — one of the registered bench
+/// generators ("ipums", "fire", "zipf", "uniform") — scaled by
+/// `scale`.  Non-zero `d_override` / `n_override` re-shape the
+/// generator before scaling (the dataset-axis sweeps: n_override is
+/// the pre-scale user count, so an axis value of 1e6 at scale 0.05
+/// yields 50k users); only the resizable synthetic generators
+/// ("zipf", "uniform") accept overrides.
+StatusOr<Dataset> ResolveBenchDataset(const std::string& name, double scale,
+                                      size_t d_override = 0,
+                                      uint64_t n_override = 0);
+
+/// True when `name` is a registered generator that accepts d/n
+/// overrides (the synthetic "zipf"/"uniform" families).
+bool BenchDatasetResizable(const std::string& name);
 
 /// Banner name of a spec dataset ("IPUMS-like").
 std::string BenchDatasetDisplayName(const std::string& name);

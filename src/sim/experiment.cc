@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "ldp/factory.h"
@@ -158,14 +159,24 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   // Every trial runs on its own counter-derived RNG stream, writes
   // its own slot, and the slots merge in trial order below — so the
   // result is bit-identical no matter how trials land on workers.
+  // Timing rides along in its own slot vector: wall clocks are
+  // machine-dependent, but merging them in trial order keeps the
+  // deterministic metrics untouched.
   std::vector<TrialMetrics> trials(config.trials);
+  std::vector<double> seconds(config.trials);
   ParallelFor(budget.outer, config.trials, [&](size_t trial) {
+    const auto start = std::chrono::steady_clock::now();
     trials[trial] = RunTrialWithProtocol(*protocol, budgeted, dataset,
                                          DeriveSeed(config.seed, trial));
+    seconds[trial] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
   });
 
   ExperimentResult result;
   for (const TrialMetrics& trial : trials) MergeTrialMetrics(trial, result);
+  for (double s : seconds) result.trial_seconds.Add(s);
+  result.users_per_trial = dataset.num_users();
   return result;
 }
 

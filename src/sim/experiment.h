@@ -96,6 +96,15 @@ struct ExperimentResult {
   /// f~*_Y against the trial's actual f~_Y.
   RunningStat mse_malicious_recover;
   RunningStat mse_malicious_recover_star;
+  /// Wall-clock seconds per trial, measured around RunSingleTrial by
+  /// RunExperiment.  Machine-dependent by nature — scenarios may only
+  /// surface it through columns listed in ScenarioSpec.timing_columns,
+  /// which result comparisons (ldpr_diff) exclude from exact checks.
+  RunningStat trial_seconds;
+  /// Genuine users each trial aggregated (the dataset's n), so
+  /// scaling scenarios can derive throughput as
+  /// users_per_trial / trial_seconds.mean().
+  uint64_t users_per_trial = 0;
 };
 
 /// Runs one trial end to end — poisoning, recovery, detection — on a

@@ -15,7 +15,14 @@ std::string DatasetDisplayName(const std::string& name) {
 
 std::string SweepRowLabel(SweepParam param, double value) {
   char buf[48];
-  std::snprintf(buf, sizeof(buf), "%s=%g", SweepParamLabel(param), value);
+  // Dataset axes are integer-valued; "%g" would render 1e6 as
+  // "1e+06", which makes a poor join key.
+  if (param == SweepParam::kNumUsers || param == SweepParam::kDomainSize) {
+    std::snprintf(buf, sizeof(buf), "%s=%llu", SweepParamLabel(param),
+                  static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s=%g", SweepParamLabel(param), value);
+  }
   return buf;
 }
 
@@ -37,6 +44,12 @@ ExperimentConfig ConfigFromDefaults(const ScenarioSpec& spec,
   return config;
 }
 
+// Dataset axes re-shape the row's dataset; every other param lands in
+// the row's ExperimentConfigs.
+bool IsDatasetAxis(SweepParam param) {
+  return param == SweepParam::kNumUsers || param == SweepParam::kDomainSize;
+}
+
 Status ApplySweepValue(SweepParam param, double value,
                        ExperimentConfig& config) {
   switch (param) {
@@ -53,8 +66,24 @@ Status ApplySweepValue(SweepParam param, double value,
       return InvalidArgumentError(
           "xi sweeps have no ExperimentConfig lowering (custom scenarios "
           "only)");
+    case SweepParam::kNumUsers:
+    case SweepParam::kDomainSize:
+      return InvalidArgumentError(
+          "dataset axes lower to row overrides, not configs");
   }
   return InvalidArgumentError("unknown sweep param");
+}
+
+Status ApplyDatasetAxisValue(SweepParam param, double value, LoweredRow& row) {
+  if (value < 1.0 || value != static_cast<double>(
+                                  static_cast<uint64_t>(value)))
+    return InvalidArgumentError(std::string(SweepParamName(param)) +
+                                " sweep values must be positive integers");
+  if (param == SweepParam::kNumUsers)
+    row.n_override = static_cast<uint64_t>(value);
+  else
+    row.d_override = static_cast<size_t>(value);
+  return Status::Ok();
 }
 
 }  // namespace
@@ -69,6 +98,10 @@ const char* SweepParamName(SweepParam param) {
       return "eta";
     case SweepParam::kXi:
       return "xi";
+    case SweepParam::kNumUsers:
+      return "n";
+    case SweepParam::kDomainSize:
+      return "d";
   }
   return "unknown";
 }
@@ -83,6 +116,10 @@ const char* SweepParamLabel(SweepParam param) {
       return "eta";
     case SweepParam::kXi:
       return "xi";
+    case SweepParam::kNumUsers:
+      return "n";
+    case SweepParam::kDomainSize:
+      return "d";
   }
   return "unknown";
 }
@@ -98,6 +135,18 @@ Status ValidateScenarioSpec(const ScenarioSpec& spec) {
   if (!spec.cells.empty() && !spec.sweeps.empty())
     return InvalidArgumentError(spec.id +
                                 ": cells and sweeps are mutually exclusive");
+  for (const std::string& timing : spec.timing_columns) {
+    bool found = false;
+    for (const std::string& column : spec.columns) {
+      if (column == timing) {
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      return InvalidArgumentError(spec.id + ": timing column '" + timing +
+                                  "' is not a declared column");
+  }
   if (spec.custom) return Status::Ok();
   if (spec.cells.empty()) {
     if (spec.protocols.empty())
@@ -182,12 +231,21 @@ StatusOr<LoweredScenario> LowerScenario(const ScenarioSpec& spec,
         table.dataset_index = ds;
         for (double value : sweep.values) {
           LoweredRow row;
+          // Dataset axes validate before the label renders: the
+          // label's integer cast is only defined for values the
+          // override check accepted.
+          if (IsDatasetAxis(sweep.param)) {
+            Status applied = ApplyDatasetAxisValue(sweep.param, value, row);
+            if (!applied.ok()) return applied;
+          }
           row.label = SweepRowLabel(sweep.param, value);
           for (AttackKind attack : spec.attacks) {
             ExperimentConfig config =
                 ConfigFromDefaults(spec, protocol, attack, trials, seed);
-            Status applied = ApplySweepValue(sweep.param, value, config);
-            if (!applied.ok()) return applied;
+            if (!IsDatasetAxis(sweep.param)) {
+              Status applied = ApplySweepValue(sweep.param, value, config);
+              if (!applied.ok()) return applied;
+            }
             row.configs.push_back(std::move(config));
             ++lowered.config_count;
           }

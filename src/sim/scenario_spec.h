@@ -40,12 +40,19 @@ namespace ldpr {
 
 /// The parameter a sweep table varies.  kXi belongs to the k-means
 /// defense (custom scenarios only; generic lowering rejects it).
-enum class SweepParam { kBeta, kEpsilon, kEta, kXi };
+/// kNumUsers and kDomainSize are *dataset* axes: instead of touching
+/// the ExperimentConfig they re-shape the table's dataset per row
+/// (scaling-law scenarios), which requires every spec dataset to be a
+/// resizable synthetic generator ("zipf"/"uniform") — the runner
+/// rejects fixed-shape datasets at resolution time.
+enum class SweepParam { kBeta, kEpsilon, kEta, kXi, kNumUsers, kDomainSize };
 
-/// Long name used in table titles ("beta", "epsilon", "eta", "xi").
+/// Long name used in table titles ("beta", "epsilon", "eta", "xi",
+/// "n", "d").
 const char* SweepParamName(SweepParam param);
 
-/// Short name used in row labels ("beta", "eps", "eta", "xi").
+/// Short name used in row labels ("beta", "eps", "eta", "xi", "n",
+/// "d").
 const char* SweepParamLabel(SweepParam param);
 
 struct SweepSpec {
@@ -106,6 +113,13 @@ struct ScenarioSpec {
   /// Output column headers; a scenario's row formatter must produce
   /// exactly this many values per row.
   std::vector<std::string> columns;
+  /// The subset of `columns` holding wall-clock measurements
+  /// (scaling-law scenarios).  Timing values are machine-dependent by
+  /// nature, so they are carried in the run manifest and excluded
+  /// from exact result comparisons (`ldpr_diff --exact`, the
+  /// determinism ctest entries); every other column must stay a pure
+  /// function of (spec, seed, scale, trials).
+  std::vector<std::string> timing_columns;
   /// Prepended to protocol row labels ("MGA-" makes "MGA-GRR").
   std::string row_label_prefix;
   /// Tag decorating sweep-table titles: "(<dataset>, <tag><protocol>
@@ -122,9 +136,17 @@ struct ScenarioSpec {
 
 /// One output row: a label plus the configs whose results fill its
 /// columns (one config per spec.attacks entry; usually one).
+/// Dataset-axis sweeps (kNumUsers/kDomainSize) land here rather than
+/// in the configs: a non-zero override asks the runner to re-shape
+/// the table's dataset for this row before running its configs.
 struct LoweredRow {
   std::string label;
   std::vector<ExperimentConfig> configs;
+  /// Target user count before the run's `scale` factor; 0 = the
+  /// dataset's default shape.
+  uint64_t n_override = 0;
+  /// Target domain size; 0 = the dataset's default shape.
+  size_t d_override = 0;
 };
 
 /// One output table, bound to a dataset by index into spec.datasets.

@@ -33,8 +33,9 @@ class ScenarioRegistryTest : public ::testing::Test {
 };
 
 const char* const kExpectedIds[] = {
-    "table1", "fig3",  "fig4",     "fig5",     "fig6",         "fig7",
-    "fig8",   "fig9",  "fig10",    "ablation", "ext_protocols"};
+    "table1", "fig3",  "fig4",     "fig5",          "fig6",
+    "fig7",   "fig8",  "fig9",     "fig10",         "ablation",
+    "ext_protocols",   "scaling_n", "scaling_d"};
 
 TEST_F(ScenarioRegistryTest, EveryListedIdResolves) {
   const ScenarioRegistry& registry = ScenarioRegistry::Global();
@@ -66,6 +67,11 @@ TEST_F(ScenarioRegistryTest, SpecsValidateAndGridSpecsLower) {
     for (const std::string& name : spec.datasets) {
       EXPECT_TRUE(ResolveBenchDataset(name, 0.01).ok())
           << spec.id << " dataset " << name;
+    }
+    for (const std::string& timing : spec.timing_columns) {
+      EXPECT_NE(std::find(spec.columns.begin(), spec.columns.end(), timing),
+                spec.columns.end())
+          << spec.id << " timing column " << timing;
     }
     if (spec.custom) {
       EXPECT_NE(scenario->run, nullptr) << spec.id;
@@ -138,6 +144,67 @@ TEST_F(ScenarioRegistryTest, LoweringMatchesPaperGridShapes) {
   EXPECT_EQ(fig10->tables[0].title,
             "Figure 10 (IPUMS, MUL-AA-GRR, 5 attackers): MSE");
   EXPECT_EQ(fig10->tables[0].rows[0].configs[0].pipeline.num_attackers, 5u);
+}
+
+TEST_F(ScenarioRegistryTest, ScalingScenariosLowerAlongDatasetAxes) {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+
+  // scaling_n: 2 datasets x 5 protocols, one table each, rows whose
+  // n_override follows the declared user-count axis; each row carries
+  // a genuine + MGA config pair.
+  const Scenario* scaling_n = registry.Find("scaling_n");
+  ASSERT_NE(scaling_n, nullptr);
+  const std::vector<double>& n_axis = scaling_n->spec.sweeps[0].values;
+  const auto lowered_n = LowerScenario(scaling_n->spec, 2, 7);
+  ASSERT_TRUE(lowered_n.ok()) << lowered_n.status().ToString();
+  ASSERT_EQ(lowered_n->tables.size(), 10u);
+  for (const LoweredTable& table : lowered_n->tables) {
+    ASSERT_EQ(table.rows.size(), n_axis.size());
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+      const LoweredRow& row = table.rows[i];
+      EXPECT_EQ(row.n_override, static_cast<uint64_t>(n_axis[i]));
+      EXPECT_EQ(row.d_override, 0u);
+      EXPECT_EQ(row.label,
+                "n=" + std::to_string(static_cast<uint64_t>(n_axis[i])));
+      ASSERT_EQ(row.configs.size(), 2u);
+      EXPECT_EQ(row.configs[0].pipeline.attack, AttackKind::kNone);
+      EXPECT_EQ(row.configs[1].pipeline.attack, AttackKind::kMga);
+    }
+  }
+  EXPECT_EQ(lowered_n->tables[0].title,
+            "Scaling (zipf, GRR): genuine vs MGA accuracy + throughput "
+            "vs n");
+
+  // scaling_d: the domain-size axis lands in d_override.
+  const Scenario* scaling_d = registry.Find("scaling_d");
+  ASSERT_NE(scaling_d, nullptr);
+  const std::vector<double>& d_axis = scaling_d->spec.sweeps[0].values;
+  const auto lowered_d = LowerScenario(scaling_d->spec, 2, 7);
+  ASSERT_TRUE(lowered_d.ok()) << lowered_d.status().ToString();
+  ASSERT_EQ(lowered_d->tables.size(), 5u);
+  for (const LoweredTable& table : lowered_d->tables) {
+    ASSERT_EQ(table.rows.size(), d_axis.size());
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+      EXPECT_EQ(table.rows[i].d_override,
+                static_cast<size_t>(d_axis[i]));
+      EXPECT_EQ(table.rows[i].n_override, 0u);
+    }
+  }
+
+  // The dataset axes resolve against the registered synthetic
+  // generators: overrides re-shape zipf/uniform (pre-scale n, exact
+  // d), and the fixed-shape paper stand-ins reject them.
+  EXPECT_TRUE(BenchDatasetResizable("zipf"));
+  EXPECT_TRUE(BenchDatasetResizable("uniform"));
+  EXPECT_FALSE(BenchDatasetResizable("ipums"));
+  const auto resized =
+      ResolveBenchDataset("zipf", 0.01, /*d_override=*/64,
+                          /*n_override=*/200000);
+  ASSERT_TRUE(resized.ok());
+  EXPECT_EQ(resized->domain_size(), 64u);
+  EXPECT_EQ(resized->num_users(), 2000u);
+  EXPECT_FALSE(ResolveBenchDataset("ipums", 0.01, 64, 0).ok());
+  EXPECT_FALSE(ResolveBenchDataset("fire", 0.01, 0, 1000).ok());
 }
 
 std::string ReadFileOrDie(const std::string& path) {
