@@ -37,6 +37,54 @@ void Grr::AccumulateSupports(const Report& report,
   counts[report.value] += 1.0;
 }
 
+namespace {
+
+// Shared dense/sparse histogram core of the GRR batch path; Values
+// yields report i's value (either straight off the span — GRR needs
+// no other field, so span batches copy nothing — or from the SoA
+// array of a builder batch).
+template <typename Values>
+void AccumulateValueHistogram(size_t n, size_t d, Values values,
+                              std::vector<double>& counts) {
+  if (n < d / 4) {
+    // Sparse batch: the O(d) histogram merge would dominate.
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t v = values(i);
+      LDPR_CHECK(v < d);
+      counts[v] += 1.0;
+    }
+    return;
+  }
+  // Dense batch: count occurrences in integers, add each bucket once.
+  // n consecutive +1.0's and one +n are the same exact double.
+  std::vector<uint64_t> hist(d, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = values(i);
+    LDPR_CHECK(v < d);
+    ++hist[v];
+  }
+  for (size_t v = 0; v < d; ++v) {
+    if (hist[v] != 0) counts[v] += static_cast<double>(hist[v]);
+  }
+}
+
+}  // namespace
+
+void Grr::AccumulateSupportsBatch(const ReportBatch& batch,
+                                  std::vector<double>& counts) const {
+  LDPR_CHECK(counts.size() == d_);
+  const size_t n = batch.size();
+  if (batch.has_span()) {
+    const Report* reports = batch.span();
+    AccumulateValueHistogram(
+        n, d_, [reports](size_t i) { return reports[i].value; }, counts);
+    return;
+  }
+  const uint32_t* values = batch.values();
+  AccumulateValueHistogram(
+      n, d_, [values](size_t i) { return values[i]; }, counts);
+}
+
 double Grr::CountVariance(double f, size_t n) const {
   const double e = std::exp(epsilon_);
   const double nd = static_cast<double>(n);

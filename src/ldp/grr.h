@@ -28,6 +28,14 @@ class Grr final : public FrequencyProtocol {
   void AccumulateSupports(const Report& report,
                           std::vector<double>& counts) const override;
 
+  /// Batched path: a report-heavy batch folds through an integer
+  /// value histogram (O(n + d), one virtual call for the whole
+  /// batch); a sparse one adds values directly.  Both orderings sum
+  /// the same integers, so the result is byte-identical to the
+  /// per-report loop.
+  void AccumulateSupportsBatch(const ReportBatch& batch,
+                               std::vector<double>& counts) const override;
+
   /// Eq. (4): Var[Phi(v)] = n*(d-2+e^eps)/(e^eps-1)^2
   ///                        + n*f*(d-2)/(e^eps-1).
   double CountVariance(double f, size_t n) const override;

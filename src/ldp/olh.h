@@ -43,6 +43,15 @@ class OlhBase : public FrequencyProtocol {
   void AccumulateSupports(const Report& report,
                           std::vector<double>& counts) const override;
 
+  /// Batched path: tiles the O(n*d) hash evaluation into report
+  /// blocks so the SoA seeds/values slice stays L1-resident across
+  /// the item sweep, with the per-item support counted in an integer
+  /// register — byte-identical to the per-report loop (integer
+  /// sums), minus the per-report virtual dispatch and branchy
+  /// compare.
+  void AccumulateSupportsBatch(const ReportBatch& batch,
+                               std::vector<double>& counts) const override;
+
   /// Generic pure-protocol variance n * q(1-q)/(p-q)^2; with the
   /// optimal g this equals Eq. (10)'s 4 e^eps / (e^eps - 1)^2 up to
   /// the integrality of g.

@@ -51,6 +51,24 @@ void FrequencyProtocol::AccumulateSupports(const Report& report,
   }
 }
 
+void FrequencyProtocol::AccumulateSupportsBatch(
+    const ReportBatch& batch, std::vector<double>& counts) const {
+  // Correctness fallback for protocols without a specialized pass:
+  // replay the per-report path.  A span-mode batch is walked in
+  // place; a builder-mode batch reuses one scratch Report.
+  if (batch.has_span()) {
+    const Report* reports = batch.span();
+    for (size_t i = 0; i < batch.size(); ++i)
+      AccumulateSupports(reports[i], counts);
+    return;
+  }
+  Report scratch;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch.ExtractReport(i, scratch);
+    AccumulateSupports(scratch, counts);
+  }
+}
+
 std::vector<double> FrequencyProtocol::AdjustCounts(
     const std::vector<double>& support_counts, size_t n) const {
   LDPR_CHECK(support_counts.size() == d_);
@@ -83,12 +101,18 @@ std::vector<double> FrequencyProtocol::SampleSupportCounts(
     const std::vector<uint64_t>& item_counts, Rng& rng) const {
   LDPR_CHECK(item_counts.size() == d_);
   std::vector<double> counts(d_, 0.0);
+  // Per-user exact simulation, but accumulated in batches: the
+  // perturbation draws stay in per-user order (the RNG stream is
+  // unchanged) while the support accumulation runs through the
+  // specialized batch path.  Integer support sums make the regrouping
+  // byte-identical.
+  BatchingAccumulator acc(*this, counts);
   for (ItemId item = 0; item < d_; ++item) {
     for (uint64_t u = 0; u < item_counts[item]; ++u) {
-      const Report r = Perturb(item, rng);
-      AccumulateSupports(r, counts);
+      acc.Add(Perturb(item, rng));
     }
   }
+  acc.Flush();
   return counts;
 }
 
@@ -140,6 +164,17 @@ std::vector<double> FrequencyProtocol::SampleSupportCountsSharded(
       });
 }
 
+void BatchingAccumulator::Add(const Report& report) {
+  buffer_.Append(report);
+  if (buffer_.size() >= kBatchFlushReports) Flush();
+}
+
+void BatchingAccumulator::Flush() {
+  if (buffer_.empty()) return;
+  protocol_.AccumulateSupportsBatch(buffer_, counts_);
+  buffer_.Clear();
+}
+
 Aggregator::Aggregator(const FrequencyProtocol& protocol)
     : protocol_(protocol), counts_(protocol.domain_size(), 0.0) {}
 
@@ -149,7 +184,9 @@ void Aggregator::Add(const Report& report) {
 }
 
 void Aggregator::AddAll(const std::vector<Report>& reports) {
-  for (const Report& r : reports) Add(r);
+  const ReportBatch batch(reports.data(), reports.size());
+  protocol_.AccumulateSupportsBatch(batch, counts_);
+  report_count_ += reports.size();
 }
 
 void Aggregator::AddAllSharded(const std::vector<Report>& reports,
@@ -165,8 +202,8 @@ void Aggregator::AddAllSharded(const std::vector<Report>& reports,
     std::vector<double> partial(counts_.size(), 0.0);
     const size_t begin = chunk * per_chunk;
     const size_t end = std::min(reports.size(), begin + per_chunk);
-    for (size_t i = begin; i < end; ++i)
-      protocol_.AccumulateSupports(reports[i], partial);
+    const ReportBatch batch(reports.data() + begin, end - begin);
+    protocol_.AccumulateSupportsBatch(batch, partial);
     partials[chunk] = std::move(partial);
   });
   for (const std::vector<double>& partial : partials) {

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "ldp/report.h"
+#include "ldp/report_batch.h"
 #include "util/random.h"
 
 namespace ldpr {
@@ -142,6 +143,22 @@ class FrequencyProtocol {
   virtual void AccumulateSupports(const Report& report,
                                   std::vector<double>& counts) const;
 
+  /// Batched AccumulateSupports: folds every report of `batch` into
+  /// `counts` (size d), byte-identical to calling AccumulateSupports
+  /// once per report in batch order (support counts are integer sums,
+  /// so any regrouping of the additions is exact — see
+  /// ldp/report_batch.h).  The default replays the per-report loop;
+  /// concrete protocols override with one tight specialized pass:
+  /// GRR a value histogram (O(n + d) with no per-report virtual
+  /// dispatch), the unary family packed per-column bit sums, and
+  /// local hashing an (item-block x report-block) tiling that keeps
+  /// the seeds/values slices and the active counts window in cache.
+  /// This is the hot path of every report-heavy aggregation
+  /// (Aggregator::AddAll*, DetectionFilter, the MGA/IPA malicious
+  /// report stream).
+  virtual void AccumulateSupportsBatch(const ReportBatch& batch,
+                                       std::vector<double>& counts) const;
+
   /// Server-side estimation Phi_eps: converts raw support counts into
   /// unbiased count estimates, Eq. (11): (C(v) - n*q) / (p - q).
   std::vector<double> AdjustCounts(const std::vector<double>& support_counts,
@@ -213,6 +230,41 @@ class FrequencyProtocol {
   double epsilon_;
 };
 
+/// Reports per flush of the streaming batch buffers (the
+/// BatchingAccumulator below): large enough to amortize the batched
+/// dispatch, small enough to bound the buffered unary bit rows
+/// (4096 * d bytes — 16 MB at the scaling scenarios' largest
+/// d=4096, a few hundred KB at paper-table domain sizes).
+inline constexpr size_t kBatchFlushReports = 4096;
+
+/// Streaming adapter over AccumulateSupportsBatch: buffers added
+/// reports and flushes them through the protocol's batched path every
+/// kBatchFlushReports reports (and on Flush()).  Batching regroups
+/// exact integer sums only (ldp/report_batch.h), so the counts are
+/// byte-identical to per-report accumulation in add order.  This is
+/// the one home of the buffer-and-flush idiom used by the per-user
+/// exact samplers and the Detection filter.
+class BatchingAccumulator {
+ public:
+  /// Both references must outlive the accumulator; `counts` must be
+  /// sized to the protocol's domain.
+  BatchingAccumulator(const FrequencyProtocol& protocol,
+                      std::vector<double>& counts)
+      : protocol_(protocol), counts_(counts) {}
+
+  /// Buffers one report, flushing if the buffer is full.
+  void Add(const Report& report);
+
+  /// Accumulates any buffered reports.  Call once after the last
+  /// Add; safe to call on an empty buffer.
+  void Flush();
+
+ private:
+  const FrequencyProtocol& protocol_;
+  std::vector<double>& counts_;
+  ReportBatch buffer_;
+};
+
 /// Streaming server-side aggregator: feeds reports one at a time and
 /// keeps only the d support counters, so aggregating hundreds of
 /// thousands of reports is O(d) memory.
@@ -223,15 +275,18 @@ class Aggregator {
   /// Folds one report into the support counts.
   void Add(const Report& report);
 
-  /// Folds a batch of reports.
+  /// Folds a batch of reports through the protocol's specialized
+  /// AccumulateSupportsBatch path; byte-identical to calling Add once
+  /// per report.
   void AddAll(const std::vector<Report>& reports);
 
   /// Folds a batch of reports across `shards` pool workers (0 =
   /// auto): the batch splits into kReportsPerAggregationShard-sized
-  /// chunks, each chunk accumulates into its own partial vector, and
-  /// the partials merge in chunk order.  Support counts are sums of
-  /// 1.0's (exact in double well past 2^50 reports), so the result is
-  /// byte-identical to AddAll at every shard count.
+  /// chunks, each chunk runs AccumulateSupportsBatch into its own
+  /// partial vector, and the partials merge in chunk order.  Support
+  /// counts are sums of 1.0's (exact in double well past 2^50
+  /// reports), so the result is byte-identical to AddAll at every
+  /// shard count.
   void AddAllSharded(const std::vector<Report>& reports, size_t shards);
 
   /// Samples and folds the aggregate of a whole genuine population

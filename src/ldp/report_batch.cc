@@ -1,0 +1,95 @@
+#include "ldp/report_batch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ldpr {
+
+ReportBatch::ReportBatch(const Report* reports, size_t n)
+    : span_(reports), size_(n) {
+  if (n > 0) bits_width_ = reports[0].bits.size();
+}
+
+void ReportBatch::Append(const Report& report) {
+  LDPR_CHECK(span_ == nullptr);
+  if (!report.bits.empty()) {
+    if (size_ == 0 && bits_width_ == 0) {
+      bits_width_ = report.bits.size();
+    } else {
+      LDPR_CHECK(report.bits.size() == bits_width_);
+    }
+    bits_.insert(bits_.end(), report.bits.begin(), report.bits.end());
+  } else {
+    LDPR_CHECK(bits_width_ == 0);
+  }
+  seeds_.push_back(report.seed);
+  values_.push_back(report.value);
+  ++size_;
+}
+
+void ReportBatch::Clear() {
+  span_ = nullptr;
+  size_ = 0;
+  bits_width_ = 0;
+  seeds_.clear();
+  values_.clear();
+  bits_.clear();
+}
+
+void ReportBatch::Reserve(size_t n, size_t bits_width) {
+  LDPR_CHECK(span_ == nullptr);
+  seeds_.reserve(n);
+  values_.reserve(n);
+  if (bits_width > 0) bits_.reserve(n * bits_width);
+}
+
+const uint64_t* ReportBatch::seeds() const {
+  if (span_ != nullptr && seeds_.size() != size_) {
+    seeds_.resize(size_);
+    for (size_t i = 0; i < size_; ++i) seeds_[i] = span_[i].seed;
+  }
+  return seeds_.data();
+}
+
+const uint32_t* ReportBatch::values() const {
+  if (span_ != nullptr && values_.size() != size_) {
+    values_.resize(size_);
+    for (size_t i = 0; i < size_; ++i) values_[i] = span_[i].value;
+  }
+  return values_.data();
+}
+
+const uint8_t* ReportBatch::bits_row(size_t i) const {
+  LDPR_CHECK(i < size_);
+  LDPR_CHECK(bits_width_ > 0);
+  if (span_ != nullptr && bits_.size() != size_ * bits_width_) {
+    bits_.resize(size_ * bits_width_);
+    for (size_t r = 0; r < size_; ++r) {
+      LDPR_CHECK(span_[r].bits.size() == bits_width_);
+      std::copy(span_[r].bits.begin(), span_[r].bits.end(),
+                bits_.begin() + r * bits_width_);
+    }
+  }
+  return bits_.data() + i * bits_width_;
+}
+
+void ReportBatch::ExtractReport(size_t i, Report& out) const {
+  LDPR_CHECK(i < size_);
+  if (span_ != nullptr) {
+    out.seed = span_[i].seed;
+    out.value = span_[i].value;
+    out.bits = span_[i].bits;
+    return;
+  }
+  out.seed = seeds_[i];
+  out.value = values_[i];
+  if (bits_width_ == 0) {
+    out.bits.clear();
+  } else {
+    out.bits.assign(bits_.data() + i * bits_width_,
+                    bits_.data() + (i + 1) * bits_width_);
+  }
+}
+
+}  // namespace ldpr

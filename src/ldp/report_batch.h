@@ -1,0 +1,118 @@
+// ReportBatch: a batch view of many reports, the unit of the batched
+// aggregation hot path.
+//
+// The streaming Aggregator pays a virtual AccumulateSupports call per
+// report; for the support-set protocols (OLH/BLH, OUE/SUE) that call
+// is itself O(d), so accumulating m malicious MGA reports costs
+// O(m*d) virtual-dispatch-laden work.  ReportBatch hands
+// FrequencyProtocol::AccumulateSupportsBatch a whole span at once so
+// each protocol can run one tight specialized loop instead (value
+// histogram for GRR, per-column bit sums for the unary family,
+// item-block x report-block tiles for local hashing).
+//
+// Two modes:
+//
+//  * Span mode — constructed over a contiguous Report array.  O(1):
+//    nothing is copied up front.  The SoA field arrays (seeds[],
+//    values[], packed bit rows) materialize lazily on first access,
+//    so each protocol pays only for the fields its loop wants (GRR
+//    reads the span directly and copies nothing).
+//  * Builder mode — Append() one report at a time (the
+//    DetectionFilter / streaming flush buffers).  Fields are SoA from
+//    the start, so accumulation never touches the 40-byte Report
+//    stride at all.
+//
+// Lazy materialization mutates const-visible caches: a batch may be
+// shared across threads only after the needed fields have been
+// materialized (every current use is batch-per-worker-chunk).
+//
+// Determinism: support counts are sums of 1.0's, exactly
+// representable integers far below 2^53, so *any* regrouping of the
+// additions yields byte-identical doubles.  Every batched override
+// exploits exactly this — accumulate integer subtotals, add each
+// subtotal once — and therefore matches the per-report path bit for
+// bit (enforced by tests/aggregation_batch_test.cc).
+//
+// A builder-mode batch is homogeneous: either every appended report
+// carries a bit row of the same width or none does (checked on
+// Append).  Span mode checks row widths when (and only when) the bit
+// matrix is materialized.
+
+#ifndef LDPR_LDP_REPORT_BATCH_H_
+#define LDPR_LDP_REPORT_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ldp/report.h"
+
+namespace ldpr {
+
+class ReportBatch {
+ public:
+  /// An empty builder-mode batch.
+  ReportBatch() = default;
+
+  /// Span mode: a zero-copy view of `n` contiguous reports.  The span
+  /// must outlive the batch.
+  ReportBatch(const Report* reports, size_t n);
+  explicit ReportBatch(const std::vector<Report>& reports)
+      : ReportBatch(reports.data(), reports.size()) {}
+
+  /// Builder mode: appends one report.  Every appended report must
+  /// agree on the presence and width of the bit row.  Not available
+  /// on span-mode batches.
+  void Append(const Report& report);
+
+  /// Drops all reports (and any span view) but keeps allocated
+  /// capacity — lets a streaming producer reuse one batch as a flush
+  /// buffer.
+  void Clear();
+
+  /// Pre-allocates builder-mode room for `n` reports whose bit rows
+  /// are `bits_width` wide (0 for bit-less encodings).
+  void Reserve(size_t n, size_t bits_width);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Span mode only: the underlying contiguous Report array — lets a
+  /// protocol whose loop needs just one field skip materialization
+  /// entirely.  Null in builder mode.
+  const Report* span() const { return span_; }
+  bool has_span() const { return span_ != nullptr; }
+
+  /// Width of each bit row; 0 when the reports carry no bits.  In
+  /// span mode this is the first report's width (heterogeneous spans
+  /// are rejected when the bit matrix materializes).
+  size_t bits_width() const { return bits_width_; }
+
+  /// SoA field arrays, each of length size().  In span mode the first
+  /// call materializes the array (see the laziness note above).
+  const uint64_t* seeds() const;
+  const uint32_t* values() const;
+
+  /// Row i of the packed bit matrix (bits_width() bytes).  Only valid
+  /// when bits_width() > 0.  In span mode the first call packs all
+  /// rows (checking every report has the same width).
+  const uint8_t* bits_row(size_t i) const;
+
+  /// Reconstructs report i into `out`, reusing out.bits storage — the
+  /// building block of the generic per-report fallback in
+  /// FrequencyProtocol::AccumulateSupportsBatch.
+  void ExtractReport(size_t i, Report& out) const;
+
+ private:
+  const Report* span_ = nullptr;
+  size_t size_ = 0;
+  size_t bits_width_ = 0;  // fixed by the first bit-carrying report
+  // Builder-mode storage, or span-mode lazy caches.
+  mutable std::vector<uint64_t> seeds_;
+  mutable std::vector<uint32_t> values_;
+  mutable std::vector<uint8_t> bits_;  // row-major, size_ x bits_width_
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_LDP_REPORT_BATCH_H_

@@ -1,5 +1,7 @@
 #include "ldp/unary.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace ldpr {
@@ -34,6 +36,45 @@ void UnaryEncoding::AccumulateSupports(const Report& report,
   LDPR_CHECK(counts.size() == d_);
   for (size_t i = 0; i < d_; ++i) {
     if (report.bits[i]) counts[i] += 1.0;
+  }
+}
+
+void UnaryEncoding::AccumulateSupportsBatch(const ReportBatch& batch,
+                                            std::vector<double>& counts) const {
+  LDPR_CHECK(counts.size() == d_);
+  if (batch.empty()) return;
+  LDPR_CHECK(batch.bits_width() == d_);
+  // Per-column integer sums over row tiles: the tile bounds the
+  // uint32 column accumulators (bits are 0/1, so a tile of < 2^32
+  // rows cannot overflow); per tile, each column total is added to
+  // counts once, in ascending column order.  Rows come straight off
+  // the span when there is one (each report's bit vector is already
+  // a contiguous d-byte row; no pack copy needed) and from the packed
+  // builder matrix otherwise.
+  const Report* span = batch.span();
+  // Builder batches pack rows contiguously; hoist the base pointer so
+  // the row loop is pure pointer arithmetic.
+  const uint8_t* packed = span == nullptr ? batch.bits_row(0) : nullptr;
+  constexpr size_t kRowTile = 1u << 22;
+  std::vector<uint32_t> column_ones(d_);
+  for (size_t row0 = 0; row0 < batch.size(); row0 += kRowTile) {
+    const size_t row1 = std::min(batch.size(), row0 + kRowTile);
+    std::fill(column_ones.begin(), column_ones.end(), 0u);
+    for (size_t i = row0; i < row1; ++i) {
+      const uint8_t* row;
+      if (span != nullptr) {
+        LDPR_CHECK(span[i].bits.size() == d_);
+        row = span[i].bits.data();
+      } else {
+        row = packed + i * d_;
+      }
+      // != 0 (not += row[v]) so any nonzero byte counts once, exactly
+      // like Supports(); still branch-free and vectorizable.
+      for (size_t v = 0; v < d_; ++v) column_ones[v] += (row[v] != 0);
+    }
+    for (size_t v = 0; v < d_; ++v) {
+      if (column_ones[v] != 0) counts[v] += static_cast<double>(column_ones[v]);
+    }
   }
 }
 

@@ -25,6 +25,14 @@ class UnaryEncoding : public FrequencyProtocol {
   void AccumulateSupports(const Report& report,
                           std::vector<double>& counts) const override;
 
+  /// Batched path: sums the batch's packed 0/1 bit rows into integer
+  /// column totals (a branch-free, vectorizable uint8 -> uint32
+  /// widening loop) and adds each column total once — byte-identical
+  /// to the per-report +1.0 sequence, without the per-report virtual
+  /// dispatch and per-bit branch.
+  void AccumulateSupportsBatch(const ReportBatch& batch,
+                               std::vector<double>& counts) const override;
+
   /// Exact generic unary variance:
   /// Var[Phi(v)] = (n f p(1-p) + n(1-f) q(1-q)) / (p-q)^2.
   double CountVariance(double f, size_t n) const override;

@@ -65,8 +65,23 @@ void DetectionFilter::Offer(const Report& report) {
   protocol_.AccumulateSupports(report, kept_counts_);
 }
 
+void DetectionFilter::OfferInto(const Report& report,
+                                BatchingAccumulator& kept) {
+  ++offered_;
+  if (IsSuspicious(report)) return;
+  ++kept_;
+  kept.Add(report);
+}
+
 void DetectionFilter::OfferAll(const std::vector<Report>& reports) {
-  for (const Report& r : reports) Offer(r);
+  // Classify per report, but accumulate the survivors through the
+  // protocol's batched path — byte-identical to Offer() per report
+  // (integer support sums), without its per-report O(d) virtual
+  // accumulation.  The accumulator's flush bound keeps the buffered
+  // bit rows to a few MB even for paper-scale unary report sets.
+  BatchingAccumulator kept(protocol_, kept_counts_);
+  for (const Report& r : reports) OfferInto(r, kept);
+  kept.Flush();
 }
 
 void DetectionFilter::OfferSampledGrr(const std::vector<uint64_t>& item_counts,
@@ -143,11 +158,16 @@ void DetectionFilter::OfferSampledOue(const std::vector<uint64_t>& item_counts,
 
 void DetectionFilter::OfferStreaming(const std::vector<uint64_t>& item_counts,
                                      Rng& rng) {
+  // Per-user perturbation order (and so the RNG stream) is unchanged;
+  // kept reports buffer into a flush batch so the O(d) support
+  // accumulation runs through the protocol's batched path.
+  BatchingAccumulator kept(protocol_, kept_counts_);
   for (ItemId item = 0; item < item_counts.size(); ++item) {
     for (uint64_t u = 0; u < item_counts[item]; ++u) {
-      Offer(protocol_.Perturb(item, rng));
+      OfferInto(protocol_.Perturb(item, rng), kept);
     }
   }
+  kept.Flush();
 }
 
 void DetectionFilter::OfferSampledGenuine(

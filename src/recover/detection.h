@@ -41,7 +41,8 @@ class DetectionFilter {
   /// Feeds one report; drops it when suspicious.
   void Offer(const Report& report);
 
-  /// Feeds a batch.
+  /// Feeds a batch: per-report classification, batched accumulation
+  /// of the survivors (byte-identical to Offer() in a loop).
   void OfferAll(const std::vector<Report>& reports);
 
   /// Fast path: feeds the reports of genuine users summarized by an
@@ -72,6 +73,11 @@ class DetectionFilter {
   std::vector<double> Estimate() const;
 
  private:
+  /// The one classify-and-count step shared by the batched feeders:
+  /// counts the report as offered, and as kept (buffering it into
+  /// `kept`) unless suspicious.
+  void OfferInto(const Report& report, BatchingAccumulator& kept);
+
   void OfferSampledGrr(const std::vector<uint64_t>& item_counts, Rng& rng);
   void OfferSampledOue(const std::vector<uint64_t>& item_counts, Rng& rng);
   void OfferStreaming(const std::vector<uint64_t>& item_counts, Rng& rng);

@@ -118,6 +118,54 @@ TrialMetrics RunTrialWithProtocol(const FrequencyProtocol& protocol,
 
 }  // namespace
 
+Status ValidateExperimentInputs(const ExperimentConfig& config,
+                                const Dataset& dataset) {
+  if (dataset.domain_size() < 2) {
+    return InvalidArgumentError("dataset needs a domain of at least 2 items");
+  }
+  if (dataset.num_users() == 0) {
+    return InvalidArgumentError(
+        "dataset is empty (zero users): nothing to aggregate");
+  }
+  if (!(config.epsilon > 0.0)) {  // negated so NaN fails too
+    return InvalidArgumentError("epsilon must be > 0");
+  }
+  if (config.trials < 1) {
+    return InvalidArgumentError("trials must be >= 1");
+  }
+  const PipelineConfig& p = config.pipeline;
+  if (!(p.beta >= 0.0 && p.beta < 1.0)) {
+    return InvalidArgumentError("beta must be in [0, 1)");
+  }
+  if (!(config.eta >= 0.0)) {
+    return InvalidArgumentError("eta must be >= 0");
+  }
+  switch (p.attack) {
+    case AttackKind::kMga:
+    case AttackKind::kMgaIpa:
+      if (p.num_targets < 1 || p.num_targets > dataset.domain_size()) {
+        return InvalidArgumentError(
+            "targets must be in [1, domain size] for MGA attacks");
+      }
+      break;
+    case AttackKind::kManip:
+      if (!(p.manip_domain_fraction >= 0.0 &&
+            p.manip_domain_fraction <= 1.0)) {
+        return InvalidArgumentError("Manip domain fraction must be in [0, 1]");
+      }
+      break;
+    case AttackKind::kMultiAdaptive:
+      if (p.num_attackers < 1) {
+        return InvalidArgumentError("MUL-AA needs at least 1 attacker");
+      }
+      break;
+    case AttackKind::kNone:
+    case AttackKind::kAdaptive:
+      break;
+  }
+  return Status::Ok();
+}
+
 TrialMetrics RunSingleTrial(const ExperimentConfig& config,
                             const Dataset& dataset, uint64_t trial_seed) {
   const std::unique_ptr<FrequencyProtocol> protocol =

@@ -35,6 +35,7 @@
 #include "data/dataset.h"
 #include "sim/pipeline.h"
 #include "util/metrics.h"
+#include "util/status.h"
 
 namespace ldpr {
 
@@ -106,6 +107,17 @@ struct ExperimentResult {
   /// users_per_trial / trial_seconds.mean().
   uint64_t users_per_trial = 0;
 };
+
+/// Validates the user-reachable knobs of an experiment *before* any
+/// CHECK-guarded internal code runs: empty dataset (zero users — the
+/// aggregation layer has nothing to estimate from and would abort),
+/// degenerate domain, non-positive epsilon, zero trials, beta outside
+/// [0, 1), negative eta, and attack-specific target/attacker counts.
+/// Drivers that accept arbitrary user input (ldprecover_cli) surface
+/// the returned InvalidArgument as an error status instead of
+/// tripping an LDPR_CHECK abort.
+Status ValidateExperimentInputs(const ExperimentConfig& config,
+                                const Dataset& dataset);
 
 /// Runs one trial end to end — poisoning, recovery, detection — on a
 /// fresh Rng(trial_seed).  Pure in (config, dataset, trial_seed):

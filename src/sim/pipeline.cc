@@ -64,12 +64,17 @@ std::vector<double> ExactGenuineSupportCounts(
     const std::vector<uint64_t>& item_counts, Rng& rng) {
   LDPR_CHECK(item_counts.size() == protocol.domain_size());
   std::vector<double> counts(protocol.domain_size(), 0.0);
+  // Perturbation draws stay in per-user order (unchanged RNG stream);
+  // the O(d)-per-report support accumulation flushes through the
+  // protocol's batched path (byte-identical: integer sums regroup
+  // exactly).
+  BatchingAccumulator acc(protocol, counts);
   for (ItemId item = 0; item < item_counts.size(); ++item) {
     for (uint64_t u = 0; u < item_counts[item]; ++u) {
-      const Report r = protocol.Perturb(item, rng);
-      protocol.AccumulateSupports(r, counts);
+      acc.Add(protocol.Perturb(item, rng));
     }
   }
+  acc.Flush();
   return counts;
 }
 

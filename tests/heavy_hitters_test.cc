@@ -56,6 +56,38 @@ TEST(TopKDisplacementTest, PartialDisplacement) {
   EXPECT_DOUBLE_EQ(TopKDisplacement(truth, est, 2), 0.5);
 }
 
+TEST(TopKDisplacementTest, LargeKMatchesNaiveMembership) {
+  // The membership check must stay correct (and fast) when k scales
+  // with the domain — the regime where the old std::find-per-item
+  // scan was quadratic in k.
+  Rng rng(11);
+  const size_t d = 8192, k = 4096;
+  std::vector<double> truth(d), est(d);
+  for (double& x : truth) x = rng.UniformDouble();
+  for (double& x : est) x = rng.UniformDouble();
+
+  // Naive reference: linear scans over the two top-k id vectors.
+  std::vector<uint8_t> in_truth_top(d, 0), in_est_top(d, 0);
+  {
+    const auto top_truth = IdentifyHeavyHitters(truth, {.k = k});
+    const auto top_est = IdentifyHeavyHitters(est, {.k = k});
+    for (const HeavyHitter& h : top_truth) in_truth_top[h.item] = 1;
+    for (const HeavyHitter& h : top_est) in_est_top[h.item] = 1;
+  }
+  size_t missing = 0;
+  for (size_t v = 0; v < d; ++v) {
+    if (in_truth_top[v] && !in_est_top[v]) ++missing;
+  }
+  EXPECT_DOUBLE_EQ(TopKDisplacement(truth, est, k),
+                   static_cast<double>(missing) / static_cast<double>(k));
+
+  std::vector<ItemId> probes;
+  for (ItemId v = 0; v < d; v += 3) probes.push_back(v);
+  size_t expected = 0;
+  for (ItemId v : probes) expected += in_est_top[v];
+  EXPECT_EQ(CountInTopK(est, probes, k), expected);
+}
+
 TEST(CountInTopKTest, CountsMembership) {
   const std::vector<double> freqs = {0.4, 0.3, 0.2, 0.1};
   EXPECT_EQ(CountInTopK(freqs, {0, 3}, 2), 1u);

@@ -65,6 +65,8 @@ StatusOr<Dataset> ParseDataset(const FlagParser& flags) {
   if (!d.ok()) return d.status();
   if (!n.ok()) return n.status();
   if (!s.ok()) return s.status();
+  if (*d < 2) return InvalidArgumentError("--d must be >= 2");
+  if (*n < 1) return InvalidArgumentError("--n must be >= 1");
   if (name == "ipums") return MakeIpumsLike();
   if (name == "fire") return MakeFireLike();
   if (name == "zipf") {
@@ -130,7 +132,23 @@ int Run(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(*seed);
   config.threads = *threads < 0 ? 0 : static_cast<size_t>(*threads);
 
+  // Surface bad knobs as status errors before any CHECK-guarded
+  // library code can abort on them (empty/scaled-away datasets, zero
+  // trials, out-of-range epsilon/beta/eta/targets, ...).
+  if (!(*scale > 0.0 && *scale <= 1.0)) {
+    std::fprintf(stderr, "error: INVALID_ARGUMENT: --scale must be in (0, 1]\n");
+    return 1;
+  }
+  if (*top_k < 1) {
+    std::fprintf(stderr, "error: INVALID_ARGUMENT: --top_k must be >= 1\n");
+    return 1;
+  }
   const Dataset dataset = ScaleDataset(*dataset_or, *scale);
+  if (const Status valid = ValidateExperimentInputs(config, dataset);
+      !valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 1;
+  }
   std::printf("ldprecover_cli: %s under %s on %s (d=%zu, n=%llu), eps=%g, "
               "beta=%g, eta=%g, %zu trials\n\n",
               ProtocolKindName(config.protocol),
