@@ -2,19 +2,24 @@
 // hot path (FrequencyProtocol::AccumulateSupportsBatch) against the
 // per-report AccumulateSupports loop it replaces, on MGA-crafted
 // reports — the report-heavy malicious stream every poisoning trial
-// accumulates.  The batched timing includes the ReportBatch SoA
-// transpose, i.e. the full cost the Aggregator actually pays.
+// accumulates.  Three paths per protocol: the per-report loop, the
+// span-mode compat shim (AoS vector wrapped in a ReportBatch view),
+// and the builder-mode SoA batch the generation pipeline now produces
+// everywhere.
 //
 // Usage:
 //   bench_aggregation_batch [--d N] [--epsilon E] [--targets R]
 //       [--reports N] [--reps K] [--protocol GRR|OUE|OLH|SUE|BLH]
 //
 // --reports 0 (default) picks a per-protocol count sized for a few
-// hundred milliseconds per measurement.  Reports "users/s" (reports
-// accumulated per second, the scaling scenarios' throughput unit) for
-// both paths, per protocol, and verifies the two paths produce
-// byte-identical support counts before trusting any timing.
+// hundred milliseconds per measurement.  Each path gets one untimed
+// warmup pass (first-touch paging, frequency ramp) and then exactly
+// --reps timed back-to-back passes; min and median of those rates
+// are printed ("users/s": reports accumulated per second, the
+// scaling scenarios' throughput unit).  Byte-identical support
+// counts across all three paths are verified before any timing.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -34,6 +39,34 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+struct RateStats {
+  double min = 0.0;
+  double median = 0.0;
+};
+
+// One untimed warmup pass, then exactly `reps` timed back-to-back
+// passes of `run`; returns min and median of the per-pass rates.
+// Back-to-back repetition (instead of interleaving the paths) keeps
+// each measurement in its own steady state.
+template <typename Fn>
+RateStats MeasureRates(int reps, size_t n, Fn&& run) {
+  run();  // warmup
+  std::vector<double> rates(static_cast<size_t>(reps));
+  for (double& rate : rates) {
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    rate = static_cast<double>(n) / SecondsSince(start);
+  }
+  std::sort(rates.begin(), rates.end());
+  RateStats stats;
+  stats.min = rates.front();
+  const size_t mid = rates.size() / 2;
+  stats.median = (rates.size() % 2 == 1)
+                     ? rates[mid]
+                     : 0.5 * (rates[mid - 1] + rates[mid]);
+  return stats;
 }
 
 size_t DefaultReports(ProtocolKind kind, size_t d) {
@@ -124,44 +157,35 @@ int Run(int argc, char** argv) {
     }
 
     // A builder-mode (SoA) copy of the same reports: the shape the
-    // streaming producers (DetectionFilter flush buffers) hand the
-    // batch path, and the pure accumulation-step measurement — no
-    // 40-byte AoS Report stride in the loop at all.
+    // generation pipeline (CraftBatch, AppendGenuineReports, the
+    // DetectionFilter flush buffers) hands the batch path — no
+    // per-report AoS stride in the loop at all.
     ReportBatch soa;
     soa.Reserve(n, reports.empty() ? 0 : reports[0].bits.size());
     for (const Report& r : reports) soa.Append(r);
 
-    double best_per_report = 0.0, best_span = 0.0, best_soa = 0.0;
-    for (int rep = 0; rep < *reps; ++rep) {
-      std::vector<double> counts(proto->domain_size(), 0.0);
-      auto start = std::chrono::steady_clock::now();
-      for (const Report& r : reports) proto->AccumulateSupports(r, counts);
-      const double rate_per_report = static_cast<double>(n) /
-                                     SecondsSince(start);
-      if (rate_per_report > best_per_report)
-        best_per_report = rate_per_report;
-
-      // The Aggregator::AddAll route: span view over the AoS vector,
-      // lazy field materialization included in the timing.
-      std::vector<double> counts2(proto->domain_size(), 0.0);
-      start = std::chrono::steady_clock::now();
-      const ReportBatch batch(reports);
-      proto->AccumulateSupportsBatch(batch, counts2);
-      const double rate_span = static_cast<double>(n) / SecondsSince(start);
-      if (rate_span > best_span) best_span = rate_span;
-
-      std::vector<double> counts3(proto->domain_size(), 0.0);
-      start = std::chrono::steady_clock::now();
-      proto->AccumulateSupportsBatch(soa, counts3);
-      const double rate_soa = static_cast<double>(n) / SecondsSince(start);
-      if (rate_soa > best_soa) best_soa = rate_soa;
-    }
-    std::printf("%-4s reports=%-8zu per-report %11.0f users/s   "
-                "batched(span) %11.0f users/s (%.2fx)   "
-                "batched(SoA) %11.0f users/s (%.2fx)\n",
-                proto->Name().c_str(), n, best_per_report, best_span,
-                best_span / best_per_report, best_soa,
-                best_soa / best_per_report);
+    std::vector<double> scratch(proto->domain_size());
+    const RateStats per_report = MeasureRates(*reps, n, [&] {
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      for (const Report& r : reports) proto->AccumulateSupports(r, scratch);
+    });
+    // The span compat shim: AoS vector wrapped in a ReportBatch view,
+    // classified and accumulated through per-row gather tiles.
+    const RateStats span = MeasureRates(*reps, n, [&] {
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      proto->AccumulateSupportsBatch(ReportBatch(reports), scratch);
+    });
+    const RateStats batched = MeasureRates(*reps, n, [&] {
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      proto->AccumulateSupportsBatch(soa, scratch);
+    });
+    std::printf("%-4s reports=%-8zu per-report min %11.0f med %11.0f   "
+                "batched(span) min %11.0f med %11.0f (%.2fx)   "
+                "batched(SoA) min %11.0f med %11.0f (%.2fx)\n",
+                proto->Name().c_str(), n, per_report.min, per_report.median,
+                span.min, span.median, span.median / per_report.median,
+                batched.min, batched.median,
+                batched.median / per_report.median);
   }
   return 0;
 }

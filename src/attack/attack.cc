@@ -1,3 +1,10 @@
 #include "attack/attack.h"
 
-// Interface-only translation unit.
+namespace ldpr {
+
+void Attack::CraftBatch(const FrequencyProtocol& protocol, size_t m, Rng& rng,
+                        ReportBatch::Builder& out) const {
+  for (const Report& report : Craft(protocol, m, rng)) out.Add(report);
+}
+
+}  // namespace ldpr

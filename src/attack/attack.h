@@ -30,6 +30,16 @@ class Attack {
   virtual std::vector<Report> Craft(const FrequencyProtocol& protocol,
                                     size_t m, Rng& rng) const = 0;
 
+  /// Crafts the same m reports straight into a builder-mode
+  /// ReportBatch (SoA seeds/values/packed bit rows) — the malicious
+  /// half of the batched trial pipeline.  Overrides must draw exactly
+  /// the same randomness, in the same order, as Craft, so the two
+  /// paths produce bit-identical reports AND leave the Rng in the
+  /// same state (locked in by tests/report_gen_batch_test.cc).  The
+  /// default materializes via Craft and appends.
+  virtual void CraftBatch(const FrequencyProtocol& protocol, size_t m,
+                          Rng& rng, ReportBatch::Builder& out) const;
+
   /// Target items of a targeted attack; empty for untargeted attacks.
   virtual std::vector<ItemId> targets() const { return {}; }
 };

@@ -26,6 +26,17 @@ std::vector<Report> InputPoisoningAttack::Craft(
   return reports;
 }
 
+void InputPoisoningAttack::CraftBatch(const FrequencyProtocol& protocol,
+                                      size_t m, Rng& rng,
+                                      ReportBatch::Builder& out) const {
+  LDPR_CHECK(input_distribution_.size() == protocol.domain_size());
+  const AliasSampler sampler(input_distribution_);
+  for (size_t i = 0; i < m; ++i) {
+    const ItemId v = static_cast<ItemId>(sampler.Sample(rng));
+    protocol.AppendGenuineReports(v, 1, rng, out);  // honest perturbation
+  }
+}
+
 std::unique_ptr<InputPoisoningAttack> MakeMgaIpa(size_t d,
                                                  std::vector<ItemId> targets) {
   LDPR_CHECK(!targets.empty());

@@ -37,6 +37,11 @@ class InputPoisoningAttack final : public Attack {
   std::vector<Report> Craft(const FrequencyProtocol& protocol, size_t m,
                             Rng& rng) const override;
 
+  /// SoA crafting via the protocol's batched genuine generation
+  /// (same draws: one alias sample + one perturbation per report).
+  void CraftBatch(const FrequencyProtocol& protocol, size_t m, Rng& rng,
+                  ReportBatch::Builder& out) const override;
+
  private:
   std::string name_;
   std::vector<double> input_distribution_;

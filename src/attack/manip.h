@@ -31,6 +31,11 @@ class ManipAttack final : public Attack {
   std::vector<Report> Craft(const FrequencyProtocol& protocol, size_t m,
                             Rng& rng) const override;
 
+  /// SoA crafting via the protocol's AppendCraftedReport (same
+  /// draws).
+  void CraftBatch(const FrequencyProtocol& protocol, size_t m, Rng& rng,
+                  ReportBatch::Builder& out) const override;
+
  private:
   ManipOptions options_;
 };

@@ -42,6 +42,14 @@ class MgaAttack final : public Attack {
   std::vector<Report> Craft(const FrequencyProtocol& protocol, size_t m,
                             Rng& rng) const override;
 
+  /// SoA crafting, bit-identical to Craft (same draws): OUE/SUE
+  /// target-and-pad bits write straight into packed rows; the OLH
+  /// seed search hoists the per-target xxHash half out of the
+  /// seed-try loop (util/hash_family.h) and emits (seed, bucket)
+  /// pairs.
+  void CraftBatch(const FrequencyProtocol& protocol, size_t m, Rng& rng,
+                  ReportBatch::Builder& out) const override;
+
   /// Picks r distinct random targets in {0, ..., d-1} — the paper's
   /// "randomly select target items" (Section VI-A3).
   static std::vector<ItemId> SampleTargets(size_t d, size_t r, Rng& rng);

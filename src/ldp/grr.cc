@@ -1,8 +1,10 @@
 #include "ldp/grr.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace ldpr {
 
@@ -37,52 +39,74 @@ void Grr::AccumulateSupports(const Report& report,
   counts[report.value] += 1.0;
 }
 
-namespace {
-
-// Shared dense/sparse histogram core of the GRR batch path; Values
-// yields report i's value (either straight off the span — GRR needs
-// no other field, so span batches copy nothing — or from the SoA
-// array of a builder batch).
-template <typename Values>
-void AccumulateValueHistogram(size_t n, size_t d, Values values,
-                              std::vector<double>& counts) {
-  if (n < d / 4) {
-    // Sparse batch: the O(d) histogram merge would dominate.
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t v = values(i);
-      LDPR_CHECK(v < d);
-      counts[v] += 1.0;
+void Grr::AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                               ReportBatch::Builder& out) const {
+  LDPR_CHECK(item < d_);
+  out.Reserve(count);
+  for (uint64_t u = 0; u < count; ++u) {
+    if (rng.Bernoulli(p_)) {
+      out.AddValue(item);
+    } else {
+      // Uniform over the d-1 items other than `item` — the same draw
+      // and skip adjustment as Perturb.
+      uint64_t draw = rng.UniformU64(d_ - 1);
+      if (draw >= item) ++draw;
+      out.AddValue(static_cast<uint32_t>(draw));
     }
-    return;
-  }
-  // Dense batch: count occurrences in integers, add each bucket once.
-  // n consecutive +1.0's and one +n are the same exact double.
-  std::vector<uint64_t> hist(d, 0);
-  for (size_t i = 0; i < n; ++i) {
-    const uint32_t v = values(i);
-    LDPR_CHECK(v < d);
-    ++hist[v];
-  }
-  for (size_t v = 0; v < d; ++v) {
-    if (hist[v] != 0) counts[v] += static_cast<double>(hist[v]);
   }
 }
 
-}  // namespace
+void Grr::AppendCraftedReport(ItemId item, Rng& rng,
+                              ReportBatch::Builder& out) const {
+  (void)rng;
+  LDPR_CHECK(item < d_);
+  out.AddValue(item);
+}
 
 void Grr::AccumulateSupportsBatch(const ReportBatch& batch,
                                   std::vector<double>& counts) const {
   LDPR_CHECK(counts.size() == d_);
   const size_t n = batch.size();
-  if (batch.has_span()) {
-    const Report* reports = batch.span();
-    AccumulateValueHistogram(
-        n, d_, [reports](size_t i) { return reports[i].value; }, counts);
+  if (n < d_ / 4) {
+    // Sparse batch: the O(d) histogram merge would dominate.
+    if (batch.has_span()) {
+      const Report* reports = batch.span();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t v = reports[i].value;
+        LDPR_CHECK(v < d_);
+        counts[v] += 1.0;
+      }
+    } else {
+      const uint32_t* values = batch.values();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t v = values[i];
+        LDPR_CHECK(v < d_);
+        counts[v] += 1.0;
+      }
+    }
     return;
   }
-  const uint32_t* values = batch.values();
-  AccumulateValueHistogram(
-      n, d_, [values](size_t i) { return values[i]; }, counts);
+  // Dense batch: count occurrences in integers (the bank-interleaved
+  // histogram kernel), add each bucket once.  n consecutive +1.0's
+  // and one +n are the same exact double.
+  std::vector<uint64_t> hist(d_, 0);
+  if (batch.has_span()) {
+    // Gather value tiles off the 40-byte Report stride, then run the
+    // kernel on each contiguous tile.
+    constexpr size_t kValueTile = 8192;
+    uint32_t tile[kValueTile];
+    const Report* reports = batch.span();
+    for (size_t i0 = 0; i0 < n; i0 += kValueTile) {
+      const size_t tn = std::min(n - i0, kValueTile);
+      for (size_t i = 0; i < tn; ++i) tile[i] = reports[i0 + i].value;
+      SimdValueHistogramAdd(tile, tn, d_, hist.data());
+    }
+  } else {
+    SimdValueHistogramAdd(batch.values(), n, d_, hist.data());
+  }
+  for (size_t v = 0; v < d_; ++v) {
+    if (hist[v] != 0) counts[v] += static_cast<double>(hist[v]);
+  }
 }
 
 double Grr::CountVariance(double f, size_t n) const {

@@ -28,11 +28,21 @@ class Grr final : public FrequencyProtocol {
   void AccumulateSupports(const Report& report,
                           std::vector<double>& counts) const override;
 
+  /// SoA generation: appends perturbed values straight into the
+  /// batch's values[] array — the same Bernoulli/uniform draws as
+  /// Perturb, without materializing a Report.
+  void AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                            ReportBatch::Builder& out) const override;
+
+  /// SoA crafting: the crafted GRR report is the item itself.
+  void AppendCraftedReport(ItemId item, Rng& rng,
+                           ReportBatch::Builder& out) const override;
+
   /// Batched path: a report-heavy batch folds through an integer
-  /// value histogram (O(n + d), one virtual call for the whole
-  /// batch); a sparse one adds values directly.  Both orderings sum
-  /// the same integers, so the result is byte-identical to the
-  /// per-report loop.
+  /// value histogram (O(n + d), one virtual call for the whole batch,
+  /// bank-interleaved via util/simd.h); a sparse one adds values
+  /// directly.  Both orderings sum the same integers, so the result
+  /// is byte-identical to the per-report loop.
   void AccumulateSupportsBatch(const ReportBatch& batch,
                                std::vector<double>& counts) const override;
 

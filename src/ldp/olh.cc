@@ -4,11 +4,12 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace ldpr {
 
 OlhBase::OlhBase(size_t d, double epsilon, uint32_t g)
-    : FrequencyProtocol(d, epsilon), g_(g) {
+    : FrequencyProtocol(d, epsilon), g_(g), mod_(g) {
   LDPR_CHECK(g_ >= 2);
   const double e = std::exp(epsilon);
   p_ = e / (e + static_cast<double>(g_) - 1.0);
@@ -45,27 +46,62 @@ void OlhBase::AccumulateSupports(const Report& report,
   }
 }
 
+void OlhBase::AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                                   ReportBatch::Builder& out) const {
+  LDPR_CHECK(item < d_);
+  // All `count` users hold the same item, so the item-only xxHash
+  // half computes once for the whole run; the per-seed finish plus
+  // FastMod is bit-identical to Hash() (util/hash_family.h).
+  const uint64_t round0 = XxHash64Round0(item);
+  out.Reserve(count);
+  for (uint64_t u = 0; u < count; ++u) {
+    const uint64_t seed = rng.Next();
+    const uint32_t hashed = static_cast<uint32_t>(
+        mod_(XxHash64Key8WithRound0(round0, XxHash64SeedAcc(seed))));
+    uint32_t value;
+    if (rng.Bernoulli(p_)) {
+      value = hashed;
+    } else {
+      uint64_t draw = rng.UniformU64(g_ - 1);
+      if (draw >= hashed) ++draw;
+      value = static_cast<uint32_t>(draw);
+    }
+    out.AddSeedValue(seed, value);
+  }
+}
+
+void OlhBase::AppendCraftedReport(ItemId item, Rng& rng,
+                                  ReportBatch::Builder& out) const {
+  LDPR_CHECK(item < d_);
+  const uint64_t seed = rng.Next();
+  out.AddSeedValue(seed, static_cast<uint32_t>(mod_(XxHash64Key8(item, seed))));
+}
+
 void OlhBase::AccumulateSupportsBatch(const ReportBatch& batch,
                                       std::vector<double>& counts) const {
   LDPR_CHECK(counts.size() == d_);
-  const uint64_t* seeds = batch.seeds();
-  const uint32_t* values = batch.values();
   const size_t n = batch.size();
-  // Report tiles keep the active seeds/values slice L1-resident
-  // (256 * 12 bytes = 3 KiB) while the item sweep revisits it d
-  // times.  The additions to counts[v] happen in ascending
-  // report-tile order and sum integers, so the result is
-  // byte-identical to the per-report loop.
+  if (!batch.has_span()) {
+    SimdOlhSupportAdd(batch.seeds(), batch.values(), n, d_, g_,
+                      counts.data());
+    return;
+  }
+  // Span compat path: gather each report tile's seeds/values off the
+  // 40-byte Report stride into stack arrays, then run the same tile
+  // kernel.  The kernel's internal tile matches this gather tile, so
+  // the addition order is identical either way (and integer support
+  // sums make any order byte-identical regardless).
   constexpr size_t kReportTile = 256;
+  uint64_t seeds[kReportTile];
+  uint32_t values[kReportTile];
+  const Report* span = batch.span();
   for (size_t i0 = 0; i0 < n; i0 += kReportTile) {
-    const size_t i1 = std::min(n, i0 + kReportTile);
-    for (size_t v = 0; v < d_; ++v) {
-      uint32_t supported = 0;
-      for (size_t i = i0; i < i1; ++i) {
-        supported += (Hash(seeds[i], static_cast<ItemId>(v)) == values[i]);
-      }
-      if (supported != 0) counts[v] += static_cast<double>(supported);
+    const size_t tn = std::min(n - i0, kReportTile);
+    for (size_t i = 0; i < tn; ++i) {
+      seeds[i] = span[i0 + i].seed;
+      values[i] = span[i0 + i].value;
     }
+    SimdOlhSupportAdd(seeds, values, tn, d_, g_, counts.data());
   }
 }
 

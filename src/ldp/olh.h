@@ -43,12 +43,24 @@ class OlhBase : public FrequencyProtocol {
   void AccumulateSupports(const Report& report,
                           std::vector<double>& counts) const override;
 
+  /// SoA generation: appends (seed, value) pairs with the same draws
+  /// as Perturb, hoisting the item-only xxHash half across the whole
+  /// run of same-item users and strength-reducing the bucket modulus
+  /// (bit-identical hashing — util/hash_family.h).
+  void AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                            ReportBatch::Builder& out) const override;
+
+  /// SoA crafting: seed = rng.Next(), value = H_seed(item), same
+  /// draws as CraftSupportingReport.
+  void AppendCraftedReport(ItemId item, Rng& rng,
+                           ReportBatch::Builder& out) const override;
+
   /// Batched path: tiles the O(n*d) hash evaluation into report
   /// blocks so the SoA seeds/values slice stays L1-resident across
-  /// the item sweep, with the per-item support counted in an integer
-  /// register — byte-identical to the per-report loop (integer
-  /// sums), minus the per-report virtual dispatch and branchy
-  /// compare.
+  /// the item sweep (the split-hash tile kernel of util/simd.h), with
+  /// the per-item support counted in an integer register —
+  /// byte-identical to the per-report loop (integer sums), minus the
+  /// per-report virtual dispatch and out-of-line hash call.
   void AccumulateSupportsBatch(const ReportBatch& batch,
                                std::vector<double>& counts) const override;
 
@@ -89,6 +101,7 @@ class OlhBase : public FrequencyProtocol {
   uint32_t g_;
   double p_;
   double q_;
+  FastMod mod_;  // exact strength-reduced % g_
 };
 
 class Olh final : public OlhBase {

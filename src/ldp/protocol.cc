@@ -97,23 +97,57 @@ double FrequencyProtocol::FrequencyVariance(double f, size_t n) const {
   return CountVariance(f, n) / (nd * nd);
 }
 
-std::vector<double> FrequencyProtocol::SampleSupportCounts(
+void FrequencyProtocol::AppendGenuineReports(ItemId item, uint64_t count,
+                                             Rng& rng,
+                                             ReportBatch::Builder& out) const {
+  for (uint64_t u = 0; u < count; ++u) out.Add(Perturb(item, rng));
+}
+
+void FrequencyProtocol::SampleReportsBatch(
+    const std::vector<uint64_t>& item_counts, Rng& rng,
+    ReportBatch::Builder& out) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  for (ItemId item = 0; item < d_; ++item) {
+    AppendGenuineReports(item, item_counts[item], rng, out);
+  }
+}
+
+void FrequencyProtocol::AppendCraftedReport(ItemId item, Rng& rng,
+                                            ReportBatch::Builder& out) const {
+  out.Add(CraftSupportingReport(item, rng));
+}
+
+std::vector<double> FrequencyProtocol::ExactSupportCounts(
     const std::vector<uint64_t>& item_counts, Rng& rng) const {
   LDPR_CHECK(item_counts.size() == d_);
   std::vector<double> counts(d_, 0.0);
-  // Per-user exact simulation, but accumulated in batches: the
-  // perturbation draws stay in per-user order (the RNG stream is
-  // unchanged) while the support accumulation runs through the
-  // specialized batch path.  Integer support sums make the regrouping
-  // byte-identical.
-  BatchingAccumulator acc(*this, counts);
+  // Reports are generated straight into an SoA flush buffer (the
+  // perturbation draws stay in per-user order — the RNG stream is
+  // unchanged) and accumulated through the batched path every
+  // kBatchFlushReports reports.  Integer support sums make the
+  // regrouping byte-identical to per-report accumulation.
+  ReportBatch buffer;
+  ReportBatch::Builder builder(buffer);
   for (ItemId item = 0; item < d_; ++item) {
-    for (uint64_t u = 0; u < item_counts[item]; ++u) {
-      acc.Add(Perturb(item, rng));
+    uint64_t remaining = item_counts[item];
+    while (remaining > 0) {
+      const uint64_t room = kBatchFlushReports - buffer.size();
+      const uint64_t take = remaining < room ? remaining : room;
+      AppendGenuineReports(item, take, rng, builder);
+      remaining -= take;
+      if (buffer.size() >= kBatchFlushReports) {
+        AccumulateSupportsBatch(buffer, counts);
+        buffer.Clear();
+      }
     }
   }
-  acc.Flush();
+  if (!buffer.empty()) AccumulateSupportsBatch(buffer, counts);
   return counts;
+}
+
+std::vector<double> FrequencyProtocol::SampleSupportCounts(
+    const std::vector<uint64_t>& item_counts, Rng& rng) const {
+  return ExactSupportCounts(item_counts, rng);
 }
 
 std::vector<double> FrequencyProtocol::SampleSupportCountsRange(
@@ -183,10 +217,34 @@ void Aggregator::Add(const Report& report) {
   ++report_count_;
 }
 
-void Aggregator::AddAll(const std::vector<Report>& reports) {
-  const ReportBatch batch(reports.data(), reports.size());
+void Aggregator::AddAll(const ReportBatch& batch) {
   protocol_.AccumulateSupportsBatch(batch, counts_);
-  report_count_ += reports.size();
+  report_count_ += batch.size();
+}
+
+void Aggregator::AddAll(const std::vector<Report>& reports) {
+  AddAll(ReportBatch(reports.data(), reports.size()));
+}
+
+void Aggregator::AddAllSharded(const ReportBatch& batch, size_t shards) {
+  const size_t per_chunk = kReportsPerAggregationShard;
+  const size_t num_chunks = (batch.size() + per_chunk - 1) / per_chunk;
+  if (num_chunks <= 1) {
+    AddAll(batch);
+    return;
+  }
+  std::vector<std::vector<double>> partials(num_chunks);
+  ParallelFor(shards, num_chunks, [&](size_t chunk) {
+    std::vector<double> partial(counts_.size(), 0.0);
+    const size_t begin = chunk * per_chunk;
+    const size_t end = std::min(batch.size(), begin + per_chunk);
+    protocol_.AccumulateSupportsBatch(batch.Slice(begin, end), partial);
+    partials[chunk] = std::move(partial);
+  });
+  for (const std::vector<double>& partial : partials) {
+    for (size_t v = 0; v < counts_.size(); ++v) counts_[v] += partial[v];
+  }
+  report_count_ += batch.size();
 }
 
 void Aggregator::AddAllSharded(const std::vector<Report>& reports,

@@ -201,6 +201,41 @@ class FrequencyProtocol {
       const std::vector<uint64_t>& item_counts, uint64_t user_begin,
       uint64_t user_end, Rng& rng) const;
 
+  /// Appends `count` genuine perturbed reports for users holding
+  /// `item` straight into a builder-mode batch — the SoA generation
+  /// hot path.  Draws exactly the same randomness, in the same
+  /// per-user order, as `count` calls to Perturb(item, rng): overrides
+  /// replace only the report *materialization* (writing seeds/values/
+  /// bit rows in place), never the draw sequence, so any consumer of
+  /// the Rng stream afterwards sees an identical state (locked in by
+  /// tests/report_gen_batch_test.cc).  The default materializes via
+  /// Perturb.
+  virtual void AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                                    ReportBatch::Builder& out) const;
+
+  /// Batched genuine report generation for a whole population: for
+  /// each item in ascending order, appends item_counts[v] perturbed
+  /// reports via AppendGenuineReports.  The canonical user ordering
+  /// (and Rng draw order) of the per-user samplers.
+  void SampleReportsBatch(const std::vector<uint64_t>& item_counts, Rng& rng,
+                          ReportBatch::Builder& out) const;
+
+  /// Appends one crafted report supporting `item` (the SoA form of
+  /// CraftSupportingReport, same Rng draws).  The default materializes
+  /// via CraftSupportingReport.
+  virtual void AppendCraftedReport(ItemId item, Rng& rng,
+                                   ReportBatch::Builder& out) const;
+
+  /// Per-user exact simulation of a population's support counts:
+  /// generates every user's report through AppendGenuineReports (in
+  /// the canonical per-user Rng draw order) and accumulates through
+  /// the batched path in kBatchFlushReports-sized SoA flushes.
+  /// Non-virtual — the shared engine of the default
+  /// SampleSupportCounts and the exact-genuine reference path
+  /// (sim/pipeline's ExactGenuineSupportCounts).
+  std::vector<double> ExactSupportCounts(
+      const std::vector<uint64_t>& item_counts, Rng& rng) const;
+
   /// Sharded, deterministic SampleSupportCounts: splits the
   /// population into kUsersPerAggregationShard-sized contiguous
   /// chunks of the canonical user ordering, samples chunk c on
@@ -278,6 +313,7 @@ class Aggregator {
   /// Folds a batch of reports through the protocol's specialized
   /// AccumulateSupportsBatch path; byte-identical to calling Add once
   /// per report.
+  void AddAll(const ReportBatch& batch);
   void AddAll(const std::vector<Report>& reports);
 
   /// Folds a batch of reports across `shards` pool workers (0 =
@@ -286,7 +322,9 @@ class Aggregator {
   /// partial vector, and the partials merge in chunk order.  Support
   /// counts are sums of 1.0's (exact in double well past 2^50
   /// reports), so the result is byte-identical to AddAll at every
-  /// shard count.
+  /// shard count.  The ReportBatch overload takes a builder-mode
+  /// batch and shards it via zero-copy Slice() views.
+  void AddAllSharded(const ReportBatch& batch, size_t shards);
   void AddAllSharded(const std::vector<Report>& reports, size_t shards);
 
   /// Samples and folds the aggregate of a whole genuine population

@@ -1,7 +1,5 @@
 #include "ldp/report_batch.h"
 
-#include <algorithm>
-
 #include "util/logging.h"
 
 namespace ldpr {
@@ -12,7 +10,7 @@ ReportBatch::ReportBatch(const Report* reports, size_t n)
 }
 
 void ReportBatch::Append(const Report& report) {
-  LDPR_CHECK(span_ == nullptr);
+  LDPR_CHECK(is_builder());
   if (!report.bits.empty()) {
     if (size_ == 0 && bits_width_ == 0) {
       bits_width_ = report.bits.size();
@@ -28,50 +26,75 @@ void ReportBatch::Append(const Report& report) {
   ++size_;
 }
 
+void ReportBatch::AppendFrom(const ReportBatch& src, size_t i) {
+  LDPR_CHECK(is_builder());
+  LDPR_CHECK(i < src.size_);
+  if (src.span_ != nullptr) {
+    Append(src.span_[i]);
+    return;
+  }
+  const size_t width = src.bits_width_;
+  if (width > 0) {
+    if (size_ == 0 && bits_width_ == 0) {
+      bits_width_ = width;
+    } else {
+      LDPR_CHECK(width == bits_width_);
+    }
+    const uint8_t* row = src.bits() + i * width;
+    bits_.insert(bits_.end(), row, row + width);
+  } else {
+    LDPR_CHECK(bits_width_ == 0);
+  }
+  seeds_.push_back(src.seeds()[i]);
+  values_.push_back(src.values()[i]);
+  ++size_;
+}
+
 void ReportBatch::Clear() {
   span_ = nullptr;
   size_ = 0;
   bits_width_ = 0;
+  seeds_view_ = nullptr;
+  values_view_ = nullptr;
+  bits_view_ = nullptr;
   seeds_.clear();
   values_.clear();
   bits_.clear();
 }
 
 void ReportBatch::Reserve(size_t n, size_t bits_width) {
-  LDPR_CHECK(span_ == nullptr);
+  LDPR_CHECK(is_builder());
   seeds_.reserve(n);
   values_.reserve(n);
   if (bits_width > 0) bits_.reserve(n * bits_width);
 }
 
 const uint64_t* ReportBatch::seeds() const {
-  if (span_ != nullptr && seeds_.size() != size_) {
-    seeds_.resize(size_);
-    for (size_t i = 0; i < size_; ++i) seeds_[i] = span_[i].seed;
-  }
-  return seeds_.data();
+  LDPR_CHECK(span_ == nullptr);
+  return seeds_view_ != nullptr ? seeds_view_ : seeds_.data();
 }
 
 const uint32_t* ReportBatch::values() const {
-  if (span_ != nullptr && values_.size() != size_) {
-    values_.resize(size_);
-    for (size_t i = 0; i < size_; ++i) values_[i] = span_[i].value;
-  }
-  return values_.data();
+  LDPR_CHECK(span_ == nullptr);
+  return values_view_ != nullptr ? values_view_ : values_.data();
 }
 
-const uint8_t* ReportBatch::bits_row(size_t i) const {
-  LDPR_CHECK(i < size_);
+const uint8_t* ReportBatch::bits() const {
+  LDPR_CHECK(span_ == nullptr);
   LDPR_CHECK(bits_width_ > 0);
-  if (span_ != nullptr && bits_.size() != size_ * bits_width_) {
-    bits_.resize(size_ * bits_width_);
-    for (size_t r = 0; r < size_; ++r) {
-      LDPR_CHECK(span_[r].bits.size() == bits_width_);
-      std::copy(span_[r].bits.begin(), span_[r].bits.end(),
-                bits_.begin() + r * bits_width_);
-    }
-  }
-  return bits_.data() + i * bits_width_;
+  return bits_view_ != nullptr ? bits_view_ : bits_.data();
+}
+
+ReportBatch ReportBatch::Slice(size_t begin, size_t end) const {
+  LDPR_CHECK(span_ == nullptr);
+  LDPR_CHECK(begin <= end && end <= size_);
+  ReportBatch view;
+  view.size_ = end - begin;
+  view.bits_width_ = bits_width_;
+  view.seeds_view_ = seeds() + begin;
+  view.values_view_ = values() + begin;
+  if (bits_width_ > 0) view.bits_view_ = bits() + begin * bits_width_;
+  return view;
 }
 
 void ReportBatch::ExtractReport(size_t i, Report& out) const {
@@ -82,14 +105,50 @@ void ReportBatch::ExtractReport(size_t i, Report& out) const {
     out.bits = span_[i].bits;
     return;
   }
-  out.seed = seeds_[i];
-  out.value = values_[i];
+  out.seed = seeds()[i];
+  out.value = values()[i];
   if (bits_width_ == 0) {
     out.bits.clear();
   } else {
-    out.bits.assign(bits_.data() + i * bits_width_,
-                    bits_.data() + (i + 1) * bits_width_);
+    const uint8_t* row = bits() + i * bits_width_;
+    out.bits.assign(row, row + bits_width_);
   }
+}
+
+ReportBatch::Builder::Builder(ReportBatch& batch) : batch_(&batch) {
+  LDPR_CHECK(batch.is_builder());
+}
+
+void ReportBatch::Builder::SetBitsWidth(size_t width) {
+  LDPR_CHECK(width > 0);
+  if (batch_->size_ == 0 && batch_->bits_width_ == 0) {
+    batch_->bits_width_ = width;
+  } else {
+    LDPR_CHECK(width == batch_->bits_width_);
+  }
+}
+
+void ReportBatch::Builder::Reserve(size_t n) {
+  batch_->Reserve(batch_->size_ + n, batch_->bits_width_);
+}
+
+void ReportBatch::Builder::AddValue(uint32_t value) { AddSeedValue(0, value); }
+
+void ReportBatch::Builder::AddSeedValue(uint64_t seed, uint32_t value) {
+  LDPR_CHECK(batch_->bits_width_ == 0);
+  batch_->seeds_.push_back(seed);
+  batch_->values_.push_back(value);
+  ++batch_->size_;
+}
+
+uint8_t* ReportBatch::Builder::AddBitsRow() {
+  const size_t width = batch_->bits_width_;
+  LDPR_CHECK(width > 0);
+  batch_->seeds_.push_back(0);
+  batch_->values_.push_back(0);
+  batch_->bits_.resize(batch_->bits_.size() + width);  // zero-filled
+  ++batch_->size_;
+  return batch_->bits_.data() + (batch_->size_ - 1) * width;
 }
 
 }  // namespace ldpr

@@ -1,42 +1,43 @@
-// ReportBatch: a batch view of many reports, the unit of the batched
-// aggregation hot path.
+// ReportBatch: a batch of many reports in SoA layout, the unit of the
+// batched generation + aggregation hot path.
 //
 // The streaming Aggregator pays a virtual AccumulateSupports call per
 // report; for the support-set protocols (OLH/BLH, OUE/SUE) that call
 // is itself O(d), so accumulating m malicious MGA reports costs
 // O(m*d) virtual-dispatch-laden work.  ReportBatch hands
-// FrequencyProtocol::AccumulateSupportsBatch a whole span at once so
+// FrequencyProtocol::AccumulateSupportsBatch a whole batch at once so
 // each protocol can run one tight specialized loop instead (value
 // histogram for GRR, per-column bit sums for the unary family,
 // item-block x report-block tiles for local hashing).
 //
-// Two modes:
+// Three modes:
 //
-//  * Span mode — constructed over a contiguous Report array.  O(1):
-//    nothing is copied up front.  The SoA field arrays (seeds[],
-//    values[], packed bit rows) materialize lazily on first access,
-//    so each protocol pays only for the fields its loop wants (GRR
-//    reads the span directly and copies nothing).
-//  * Builder mode — Append() one report at a time (the
-//    DetectionFilter / streaming flush buffers).  Fields are SoA from
-//    the start, so accumulation never touches the 40-byte Report
-//    stride at all.
-//
-// Lazy materialization mutates const-visible caches: a batch may be
-// shared across threads only after the needed fields have been
-// materialized (every current use is batch-per-worker-chunk).
+//  * Builder mode — the primary hot path.  A ReportBatch::Builder
+//    writes straight into the SoA field arrays (seeds[], values[],
+//    packed bit rows): protocol generation overrides
+//    (FrequencyProtocol::AppendGenuineReports) and attack crafting
+//    overrides (Attack::CraftBatch) produce reports here without a
+//    per-user Report ever materializing.
+//  * View mode — Slice() of a builder batch: borrowed pointers into
+//    the parent's SoA arrays (the unit the sharded aggregator hands
+//    each worker).  Appending to the parent invalidates slices.
+//  * Span mode — a zero-copy view over a contiguous Report array,
+//    kept as a compat shim for AoS call sites (tests, small tools).
+//    Span batches expose only span()/ExtractReport(); there is no SoA
+//    materialization — protocols that want field arrays gather their
+//    own tiles.
 //
 // Determinism: support counts are sums of 1.0's, exactly
 // representable integers far below 2^53, so *any* regrouping of the
 // additions yields byte-identical doubles.  Every batched override
 // exploits exactly this — accumulate integer subtotals, add each
 // subtotal once — and therefore matches the per-report path bit for
-// bit (enforced by tests/aggregation_batch_test.cc).
+// bit (enforced by tests/aggregation_batch_test.cc and
+// tests/report_gen_batch_test.cc).
 //
 // A builder-mode batch is homogeneous: either every appended report
 // carries a bit row of the same width or none does (checked on
-// Append).  Span mode checks row widths when (and only when) the bit
-// matrix is materialized.
+// append).
 
 #ifndef LDPR_LDP_REPORT_BATCH_H_
 #define LDPR_LDP_REPORT_BATCH_H_
@@ -51,6 +52,8 @@ namespace ldpr {
 
 class ReportBatch {
  public:
+  class Builder;
+
   /// An empty builder-mode batch.
   ReportBatch() = default;
 
@@ -62,10 +65,15 @@ class ReportBatch {
 
   /// Builder mode: appends one report.  Every appended report must
   /// agree on the presence and width of the bit row.  Not available
-  /// on span-mode batches.
+  /// on span-mode or view-mode batches.
   void Append(const Report& report);
 
-  /// Drops all reports (and any span view) but keeps allocated
+  /// Row-copies report i of `src` (any mode) into this builder-mode
+  /// batch without materializing a Report — the survivor path of the
+  /// detection flush buffers.
+  void AppendFrom(const ReportBatch& src, size_t i);
+
+  /// Drops all reports (and any span/slice view) but keeps allocated
   /// capacity — lets a streaming producer reuse one batch as a flush
   /// buffer.
   void Clear();
@@ -77,40 +85,93 @@ class ReportBatch {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Span mode only: the underlying contiguous Report array — lets a
-  /// protocol whose loop needs just one field skip materialization
-  /// entirely.  Null in builder mode.
+  /// Span mode only: the underlying contiguous Report array.  Null in
+  /// builder/view mode.
   const Report* span() const { return span_; }
   bool has_span() const { return span_ != nullptr; }
 
   /// Width of each bit row; 0 when the reports carry no bits.  In
-  /// span mode this is the first report's width (heterogeneous spans
-  /// are rejected when the bit matrix materializes).
+  /// span mode this is the first report's width.
   size_t bits_width() const { return bits_width_; }
 
-  /// SoA field arrays, each of length size().  In span mode the first
-  /// call materializes the array (see the laziness note above).
+  /// SoA field arrays, each of length size().  Builder/view mode
+  /// only — span batches have no SoA arrays (use span() or
+  /// ExtractReport).
   const uint64_t* seeds() const;
   const uint32_t* values() const;
 
-  /// Row i of the packed bit matrix (bits_width() bytes).  Only valid
-  /// when bits_width() > 0.  In span mode the first call packs all
-  /// rows (checking every report has the same width).
-  const uint8_t* bits_row(size_t i) const;
+  /// Base of the packed row-major bit matrix (size() x bits_width()
+  /// bytes).  Builder/view mode with bits_width() > 0 only.
+  const uint8_t* bits() const;
+
+  /// Row i of the packed bit matrix (bits_width() bytes).
+  const uint8_t* bits_row(size_t i) const { return bits() + i * bits_width_; }
+
+  /// View mode: a borrowed sub-range [begin, end) of this builder- or
+  /// view-mode batch's SoA arrays.  O(1), no copy.  The parent must
+  /// outlive the slice and must not be appended to while slices are
+  /// live.
+  ReportBatch Slice(size_t begin, size_t end) const;
 
   /// Reconstructs report i into `out`, reusing out.bits storage — the
   /// building block of the generic per-report fallback in
-  /// FrequencyProtocol::AccumulateSupportsBatch.
+  /// FrequencyProtocol::AccumulateSupportsBatch.  Works in any mode.
   void ExtractReport(size_t i, Report& out) const;
 
  private:
+  bool is_builder() const {
+    return span_ == nullptr && seeds_view_ == nullptr;
+  }
+
   const Report* span_ = nullptr;
   size_t size_ = 0;
   size_t bits_width_ = 0;  // fixed by the first bit-carrying report
-  // Builder-mode storage, or span-mode lazy caches.
-  mutable std::vector<uint64_t> seeds_;
-  mutable std::vector<uint32_t> values_;
-  mutable std::vector<uint8_t> bits_;  // row-major, size_ x bits_width_
+  // View mode: borrowed SoA pointers into a parent batch.
+  const uint64_t* seeds_view_ = nullptr;
+  const uint32_t* values_view_ = nullptr;
+  const uint8_t* bits_view_ = nullptr;
+  // Builder-mode storage.
+  std::vector<uint64_t> seeds_;
+  std::vector<uint32_t> values_;
+  std::vector<uint8_t> bits_;  // row-major, size_ x bits_width_
+};
+
+/// Writes reports straight into a builder-mode ReportBatch's SoA
+/// arrays.  The generation hot path: protocols append a value, a
+/// (seed, value) pair, or a zeroed bit row they then fill in place —
+/// no per-user Report object exists anywhere on the path.
+class ReportBatch::Builder {
+ public:
+  /// Wraps `batch`, which must be in builder mode (possibly
+  /// non-empty: crafting appends after genuine generation).
+  explicit Builder(ReportBatch& batch);
+
+  /// Fixes the bit-row width before the first AddBitsRow (idempotent;
+  /// must agree with any width the batch already has).
+  void SetBitsWidth(size_t width);
+
+  /// Pre-allocates room for `n` more reports.
+  void Reserve(size_t n);
+
+  /// Appends a value-only report (GRR).  seed is 0.
+  void AddValue(uint32_t value);
+
+  /// Appends a (seed, value) report (OLH/BLH).
+  void AddSeedValue(uint64_t seed, uint32_t value);
+
+  /// Appends a bit-row report (OUE/SUE) and returns its zeroed row of
+  /// SetBitsWidth() bytes for the caller to fill in place.  The
+  /// pointer is invalidated by the next append.
+  uint8_t* AddBitsRow();
+
+  /// Compat append of a materialized Report (the generic fallbacks).
+  void Add(const Report& report) { batch_->Append(report); }
+
+  size_t size() const { return batch_->size_; }
+  const ReportBatch& batch() const { return *batch_; }
+
+ private:
+  ReportBatch* batch_;
 };
 
 }  // namespace ldpr

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace ldpr {
 
@@ -39,6 +40,29 @@ void UnaryEncoding::AccumulateSupports(const Report& report,
   }
 }
 
+void UnaryEncoding::AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                                         ReportBatch::Builder& out) const {
+  LDPR_CHECK(item < d_);
+  out.SetBitsWidth(d_);
+  out.Reserve(count);
+  for (uint64_t u = 0; u < count; ++u) {
+    uint8_t* row = out.AddBitsRow();
+    // Same per-bit draws, in the same order, as Perturb.
+    for (size_t i = 0; i < d_; ++i) {
+      const double keep_prob = (i == item) ? p_keep_ : q_flip_;
+      row[i] = rng.Bernoulli(keep_prob) ? 1 : 0;
+    }
+  }
+}
+
+void UnaryEncoding::AppendCraftedReport(ItemId item, Rng& rng,
+                                        ReportBatch::Builder& out) const {
+  (void)rng;
+  LDPR_CHECK(item < d_);
+  out.SetBitsWidth(d_);
+  out.AddBitsRow()[item] = 1;
+}
+
 void UnaryEncoding::AccumulateSupportsBatch(const ReportBatch& batch,
                                             std::vector<double>& counts) const {
   LDPR_CHECK(counts.size() == d_);
@@ -47,30 +71,31 @@ void UnaryEncoding::AccumulateSupportsBatch(const ReportBatch& batch,
   // Per-column integer sums over row tiles: the tile bounds the
   // uint32 column accumulators (bits are 0/1, so a tile of < 2^32
   // rows cannot overflow); per tile, each column total is added to
-  // counts once, in ascending column order.  Rows come straight off
-  // the span when there is one (each report's bit vector is already
-  // a contiguous d-byte row; no pack copy needed) and from the packed
-  // builder matrix otherwise.
+  // counts once, in ascending column order.  The column summation
+  // itself runs through the byte-lane SIMD kernels: the packed
+  // builder matrix feeds SimdUnaryColumnsAddPacked directly, span
+  // rows go through row-pointer tiles (each report's bit vector is
+  // already a contiguous d-byte row; no pack copy needed).
   const Report* span = batch.span();
-  // Builder batches pack rows contiguously; hoist the base pointer so
-  // the row loop is pure pointer arithmetic.
-  const uint8_t* packed = span == nullptr ? batch.bits_row(0) : nullptr;
   constexpr size_t kRowTile = 1u << 22;
   std::vector<uint32_t> column_ones(d_);
   for (size_t row0 = 0; row0 < batch.size(); row0 += kRowTile) {
     const size_t row1 = std::min(batch.size(), row0 + kRowTile);
     std::fill(column_ones.begin(), column_ones.end(), 0u);
-    for (size_t i = row0; i < row1; ++i) {
-      const uint8_t* row;
-      if (span != nullptr) {
-        LDPR_CHECK(span[i].bits.size() == d_);
-        row = span[i].bits.data();
-      } else {
-        row = packed + i * d_;
+    if (span == nullptr) {
+      SimdUnaryColumnsAddPacked(batch.bits() + row0 * d_, row1 - row0, d_,
+                                column_ones.data());
+    } else {
+      constexpr size_t kPtrTile = 1024;
+      const uint8_t* rows[kPtrTile];
+      for (size_t i0 = row0; i0 < row1; i0 += kPtrTile) {
+        const size_t tn = std::min(row1 - i0, kPtrTile);
+        for (size_t i = 0; i < tn; ++i) {
+          LDPR_CHECK(span[i0 + i].bits.size() == d_);
+          rows[i] = span[i0 + i].bits.data();
+        }
+        SimdUnaryColumnsAddRows(rows, tn, d_, column_ones.data());
       }
-      // != 0 (not += row[v]) so any nonzero byte counts once, exactly
-      // like Supports(); still branch-free and vectorizable.
-      for (size_t v = 0; v < d_; ++v) column_ones[v] += (row[v] != 0);
     }
     for (size_t v = 0; v < d_; ++v) {
       if (column_ones[v] != 0) counts[v] += static_cast<double>(column_ones[v]);

@@ -25,11 +25,21 @@ class UnaryEncoding : public FrequencyProtocol {
   void AccumulateSupports(const Report& report,
                           std::vector<double>& counts) const override;
 
+  /// SoA generation: fills zeroed packed bit rows in place with the
+  /// same per-bit Bernoulli draws as Perturb — no per-user
+  /// std::vector<uint8_t> allocation.
+  void AppendGenuineReports(ItemId item, uint64_t count, Rng& rng,
+                            ReportBatch::Builder& out) const override;
+
+  /// SoA crafting: a one-hot packed row.
+  void AppendCraftedReport(ItemId item, Rng& rng,
+                           ReportBatch::Builder& out) const override;
+
   /// Batched path: sums the batch's packed 0/1 bit rows into integer
-  /// column totals (a branch-free, vectorizable uint8 -> uint32
-  /// widening loop) and adds each column total once — byte-identical
-  /// to the per-report +1.0 sequence, without the per-report virtual
-  /// dispatch and per-bit branch.
+  /// column totals (byte-lane SIMD accumulation, util/simd.h) and
+  /// adds each column total once — byte-identical to the per-report
+  /// +1.0 sequence, without the per-report virtual dispatch and
+  /// per-bit branch.
   void AccumulateSupportsBatch(const ReportBatch& batch,
                                std::vector<double>& counts) const override;
 

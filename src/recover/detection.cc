@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "ldp/grr.h"
+#include "ldp/olh.h"
 #include "ldp/unary.h"
+#include "util/hash_family.h"
 #include "util/logging.h"
 
 namespace ldpr {
@@ -73,15 +75,119 @@ void DetectionFilter::OfferInto(const Report& report,
   kept.Add(report);
 }
 
+void DetectionFilter::OfferAll(const ReportBatch& batch) {
+  const size_t n = batch.size();
+  if (n == 0) return;
+  if (batch.has_span()) {
+    // AoS compat path: classify per report, accumulate the survivors
+    // through the protocol's batched path — byte-identical to Offer()
+    // per report (integer support sums).
+    BatchingAccumulator kept(protocol_, kept_counts_);
+    const Report* span = batch.span();
+    for (size_t i = 0; i < n; ++i) OfferInto(span[i], kept);
+    kept.Flush();
+    return;
+  }
+
+  // SoA classification.  Each branch computes the same supported-
+  // target count IsSuspicious does (early exit changes nothing about
+  // the >= threshold outcome), reading the field arrays directly.
+  const size_t d = protocol_.domain_size();
+  std::vector<uint8_t> flagged(n, 0);
+  switch (protocol_.kind()) {
+    case ProtocolKind::kGrr: {
+      // A GRR report supports exactly the value it carries;
+      // threshold is 1.
+      const uint32_t* values = batch.values();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t v = values[i];
+        LDPR_CHECK(v < d);
+        flagged[i] = is_target_[v];
+      }
+      break;
+    }
+    case ProtocolKind::kOue:
+    case ProtocolKind::kSue: {
+      LDPR_CHECK(batch.bits_width() == d);
+      const uint8_t* bits = batch.bits();
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t* row = bits + i * d;
+        size_t supported = 0;
+        for (ItemId t : targets_) supported += (row[t] != 0);
+        flagged[i] = supported >= threshold_;
+      }
+      break;
+    }
+    case ProtocolKind::kOlh:
+    case ProtocolKind::kBlh: {
+      const auto& olh = static_cast<const OlhBase&>(protocol_);
+      const FastMod mod(olh.g());
+      // The target set is fixed: hoist each target's item-only xxHash
+      // half out of the report loop (bit-identical hashing).
+      std::vector<uint64_t> round0(targets_.size());
+      for (size_t j = 0; j < targets_.size(); ++j)
+        round0[j] = XxHash64Round0(targets_[j]);
+      const uint64_t* seeds = batch.seeds();
+      const uint32_t* values = batch.values();
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t seed_acc = XxHash64SeedAcc(seeds[i]);
+        size_t supported = 0;
+        for (size_t j = 0; j < round0.size(); ++j) {
+          supported +=
+              (mod(XxHash64Key8WithRound0(round0[j], seed_acc)) == values[i]);
+        }
+        flagged[i] = supported >= threshold_;
+      }
+      break;
+    }
+  }
+
+  // Row-copy the survivors into a flush buffer and accumulate them
+  // through the batched path — the same counts, in the same order,
+  // as Offer() on each survivor.
+  ReportBatch kept;
+  size_t kept_here = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (flagged[i]) continue;
+    kept.AppendFrom(batch, i);
+    ++kept_here;
+    if (kept.size() >= kBatchFlushReports) {
+      protocol_.AccumulateSupportsBatch(kept, kept_counts_);
+      kept.Clear();
+    }
+  }
+  if (!kept.empty()) protocol_.AccumulateSupportsBatch(kept, kept_counts_);
+  offered_ += n;
+  kept_ += kept_here;
+}
+
 void DetectionFilter::OfferAll(const std::vector<Report>& reports) {
-  // Classify per report, but accumulate the survivors through the
-  // protocol's batched path — byte-identical to Offer() per report
-  // (integer support sums), without its per-report O(d) virtual
-  // accumulation.  The accumulator's flush bound keeps the buffered
-  // bit rows to a few MB even for paper-scale unary report sets.
-  BatchingAccumulator kept(protocol_, kept_counts_);
-  for (const Report& r : reports) OfferInto(r, kept);
-  kept.Flush();
+  OfferAll(ReportBatch(reports.data(), reports.size()));
+}
+
+void DetectionFilter::OfferExactGenuine(
+    const std::vector<uint64_t>& item_counts, Rng& rng) {
+  LDPR_CHECK(item_counts.size() == protocol_.domain_size());
+  // Generate SoA report tiles in the canonical per-user order (the
+  // Rng stream matches Perturb per user exactly) and filter each
+  // tile; classification consumes no randomness, so tiling leaves the
+  // draw sequence unchanged.
+  ReportBatch buffer;
+  ReportBatch::Builder builder(buffer);
+  for (ItemId item = 0; item < item_counts.size(); ++item) {
+    uint64_t remaining = item_counts[item];
+    while (remaining > 0) {
+      const uint64_t room = kBatchFlushReports - buffer.size();
+      const uint64_t take = remaining < room ? remaining : room;
+      protocol_.AppendGenuineReports(item, take, rng, builder);
+      remaining -= take;
+      if (buffer.size() >= kBatchFlushReports) {
+        OfferAll(buffer);
+        buffer.Clear();
+      }
+    }
+  }
+  if (!buffer.empty()) OfferAll(buffer);
 }
 
 void DetectionFilter::OfferSampledGrr(const std::vector<uint64_t>& item_counts,
@@ -159,15 +265,8 @@ void DetectionFilter::OfferSampledOue(const std::vector<uint64_t>& item_counts,
 void DetectionFilter::OfferStreaming(const std::vector<uint64_t>& item_counts,
                                      Rng& rng) {
   // Per-user perturbation order (and so the RNG stream) is unchanged;
-  // kept reports buffer into a flush batch so the O(d) support
-  // accumulation runs through the protocol's batched path.
-  BatchingAccumulator kept(protocol_, kept_counts_);
-  for (ItemId item = 0; item < item_counts.size(); ++item) {
-    for (uint64_t u = 0; u < item_counts[item]; ++u) {
-      OfferInto(protocol_.Perturb(item, rng), kept);
-    }
-  }
-  kept.Flush();
+  // generation and filtering run through the SoA tile path.
+  OfferExactGenuine(item_counts, rng);
 }
 
 void DetectionFilter::OfferSampledGenuine(

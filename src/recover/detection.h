@@ -41,9 +41,22 @@ class DetectionFilter {
   /// Feeds one report; drops it when suspicious.
   void Offer(const Report& report);
 
-  /// Feeds a batch: per-report classification, batched accumulation
-  /// of the survivors (byte-identical to Offer() in a loop).
+  /// Feeds a batch: classification straight off the SoA field arrays
+  /// (value lookup for GRR, target-bit count for the unary family,
+  /// inline split-hash matches for OLH/BLH), survivors row-copied
+  /// into a flush buffer and accumulated through the protocol's
+  /// batched path — byte-identical to Offer() in a loop.  Span-mode
+  /// batches fall back to per-report classification.
+  void OfferAll(const ReportBatch& batch);
   void OfferAll(const std::vector<Report>& reports);
+
+  /// Feeds the reports of genuine users summarized by an item-count
+  /// histogram, simulating every user exactly: generates SoA report
+  /// tiles through the protocol's batched generation (the same
+  /// per-user Rng draw order as Perturb per user) and filters them
+  /// via OfferAll.  The exact-genuine reference path of the
+  /// experiment driver.
+  void OfferExactGenuine(const std::vector<uint64_t>& item_counts, Rng& rng);
 
   /// Fast path: feeds the reports of genuine users summarized by an
   /// item-count histogram, sampling the post-filter aggregate from

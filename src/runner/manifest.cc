@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/json_writer.h"
+#include "util/simd.h"
 
 namespace ldpr {
 
@@ -30,6 +31,7 @@ RunManifest MakeRunManifest(const ScenarioSpec& spec,
   manifest.shards = report.shards;
   manifest.tables = report.tables;
   manifest.rows = report.rows;
+  manifest.simd = ActiveSimdBackendName();
   manifest.git_describe = GitDescribe();
   manifest.datasets = info.datasets;
   manifest.columns = spec.columns;
@@ -65,6 +67,8 @@ std::string ManifestToJson(const RunManifest& manifest) {
   w.UInt(manifest.tables);
   w.Key("rows");
   w.UInt(manifest.rows);
+  w.Key("simd");
+  w.String(manifest.simd);
   w.Key("git_describe");
   w.String(manifest.git_describe);
   w.Key("datasets");

@@ -46,6 +46,10 @@ struct RunManifest {
   size_t shards = 0;
   size_t tables = 0;
   size_t rows = 0;
+  /// The SIMD backend the aggregation kernels dispatched to for this
+  /// run (see util/simd.h) — machine-dependent, like `threads`, and
+  /// recorded for the same reason: results must diff clean across it.
+  std::string simd;
   std::string git_describe;
   std::vector<ScenarioRunInfo::DatasetInfo> datasets;
   /// The spec's output columns, and the subset holding wall-clock

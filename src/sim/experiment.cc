@@ -91,10 +91,7 @@ TrialMetrics RunTrialWithProtocol(const FrequencyProtocol& protocol,
       // independent realization of the genuine randomness is
       // statistically equivalent (see DESIGN.md).
       if (config.pipeline.exact_genuine) {
-        for (ItemId item = 0; item < dataset.item_counts.size(); ++item) {
-          for (uint64_t u = 0; u < dataset.item_counts[item]; ++u)
-            filter.Offer(protocol.Perturb(item, rng));
-        }
+        filter.OfferExactGenuine(dataset.item_counts, rng);
       } else {
         // One seed drawn from the trial stream keys the sharded
         // filter fan-out, so the trial's draw count — and the filter

@@ -62,20 +62,10 @@ std::unique_ptr<Attack> MakeAttack(const PipelineConfig& config, size_t d,
 std::vector<double> ExactGenuineSupportCounts(
     const FrequencyProtocol& protocol,
     const std::vector<uint64_t>& item_counts, Rng& rng) {
-  LDPR_CHECK(item_counts.size() == protocol.domain_size());
-  std::vector<double> counts(protocol.domain_size(), 0.0);
   // Perturbation draws stay in per-user order (unchanged RNG stream);
-  // the O(d)-per-report support accumulation flushes through the
-  // protocol's batched path (byte-identical: integer sums regroup
-  // exactly).
-  BatchingAccumulator acc(protocol, counts);
-  for (ItemId item = 0; item < item_counts.size(); ++item) {
-    for (uint64_t u = 0; u < item_counts[item]; ++u) {
-      acc.Add(protocol.Perturb(item, rng));
-    }
-  }
-  acc.Flush();
-  return counts;
+  // generation and accumulation run through the protocol's batched
+  // SoA path (byte-identical: integer sums regroup exactly).
+  return protocol.ExactSupportCounts(item_counts, rng);
 }
 
 std::vector<double> ExactGenuineSupportCountsSharded(
@@ -127,7 +117,8 @@ TrialOutput RunPoisoningTrial(const FrequencyProtocol& protocol,
     const std::unique_ptr<Attack> attack = MakeAttack(config, d, rng);
     LDPR_CHECK(attack != nullptr);
     out.attack_targets = attack->targets();
-    out.malicious_reports = attack->Craft(protocol, out.m, rng);
+    ReportBatch::Builder builder(out.malicious_reports);
+    attack->CraftBatch(protocol, out.m, rng, builder);
     LDPR_CHECK(out.malicious_reports.size() == out.m);
     Aggregator malicious_agg(protocol);
     malicious_agg.AddAllSharded(out.malicious_reports, config.shards);

@@ -68,8 +68,10 @@ struct TrialOutput {
   std::vector<double> malicious_freqs;
   /// The attack's declared targets (empty for untargeted/none).
   std::vector<ItemId> attack_targets;
-  /// The crafted malicious reports (for Detection / k-means).
-  std::vector<Report> malicious_reports;
+  /// The crafted malicious reports (for Detection / k-means), in SoA
+  /// builder-mode batch form — no per-user Report is materialized
+  /// anywhere on the malicious path.
+  ReportBatch malicious_reports;
   size_t n = 0;  ///< genuine users
   size_t m = 0;  ///< malicious users
 };

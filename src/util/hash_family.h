@@ -5,15 +5,66 @@
 // and (approximately) independent across items.  We realize the
 // family as { v -> XXH64(v, seed) mod g : seed in uint64 }, matching
 // the construction in Wang et al.'s reference implementation.
+//
+// Besides the one-at-a-time SeededHash this header provides the
+// batched evaluation building blocks the SIMD aggregation kernels
+// (util/simd.h) are built from:
+//
+//  * FastMod — an exact strength-reduced `x % g` for a loop-invariant
+//    g (power-of-two mask, else one high multiply + one correction
+//    subtract).  Exactness for every 64-bit x is what keeps the
+//    batched OLH path bit-identical to SeededHash, and is locked in
+//    by tests/report_gen_batch_test.cc.
+//  * SeededHashTileEval — evaluates H_seed(item) for one item against
+//    a whole tile of report seeds, hoisting the item-only half of the
+//    8-byte xxHash (XxHash64Round0) out of the per-seed loop.
 
 #ifndef LDPR_UTIL_HASH_FAMILY_H_
 #define LDPR_UTIL_HASH_FAMILY_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/xxhash.h"
 
 namespace ldpr {
+
+/// Exact division-free `x % g` for a fixed divisor g >= 1.
+///
+/// Power-of-two g reduces to a mask.  Otherwise, with
+/// m = floor(2^64 / g), the quotient estimate
+/// q = floor(m * x / 2^64) satisfies floor(x/g) - q in {0, 1}
+/// (the error term e*x/(g*2^64) with e = 2^64 mod g < g is < 1 for
+/// every x < 2^64), so one conditional subtract of g makes the
+/// remainder exact for all 64-bit x.
+class FastMod {
+ public:
+  FastMod() : FastMod(1) {}
+  explicit FastMod(uint64_t g)
+      : g_(g),
+        mask_(g - 1),
+        pow2_((g & (g - 1)) == 0),
+        m_(pow2_ ? 0
+                 : static_cast<uint64_t>(
+                       (static_cast<unsigned __int128>(1) << 64) / g)) {}
+
+  uint64_t divisor() const { return g_; }
+
+  uint64_t operator()(uint64_t x) const {
+    if (pow2_) return x & mask_;
+    const uint64_t q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(m_) * x) >> 64);
+    uint64_t r = x - q * g_;
+    if (r >= g_) r -= g_;
+    return r;
+  }
+
+ private:
+  uint64_t g_;
+  uint64_t mask_;
+  bool pow2_;
+  uint64_t m_;  // floor(2^64 / g); fits u64 for every non-pow2 g >= 3
+};
 
 /// One member of the OLH hash family, identified by its seed.
 class SeededHash {
@@ -33,6 +84,30 @@ class SeededHash {
  private:
   uint64_t seed_;
   uint32_t g_;
+};
+
+/// Batched SeededHash evaluation: one item against a tile of seeds.
+///
+/// `seed_accs[i]` must hold XxHash64SeedAcc(seed_i) (precomputed once
+/// per tile); `Eval(i)` then returns H_{seed_i}(item) in
+/// {0, ..., g-1}, bit-identical to SeededHash(seed_i, g)(item) — the
+/// item-only xxHash half and the modulus are exact refactorings, not
+/// approximations.
+class SeededHashTileEval {
+ public:
+  SeededHashTileEval(uint64_t item, const uint64_t* seed_accs,
+                     const FastMod& mod)
+      : round0_(XxHash64Round0(item)), seed_accs_(seed_accs), mod_(mod) {}
+
+  uint32_t Eval(size_t i) const {
+    return static_cast<uint32_t>(
+        mod_(XxHash64Key8WithRound0(round0_, seed_accs_[i])));
+  }
+
+ private:
+  uint64_t round0_;
+  const uint64_t* seed_accs_;
+  const FastMod& mod_;
 };
 
 }  // namespace ldpr

@@ -6,15 +6,13 @@ namespace ldpr {
 
 namespace {
 
-constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
-constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
-constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
-constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
-constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
-
-inline uint64_t Rotl64(uint64_t x, int r) {
-  return (x << r) | (x >> (64 - r));
-}
+using xxhash_detail::kPrime1;
+using xxhash_detail::kPrime2;
+using xxhash_detail::kPrime3;
+using xxhash_detail::kPrime4;
+using xxhash_detail::kPrime5;
+using xxhash_detail::Avalanche;
+using xxhash_detail::Rotl64;
 
 inline uint64_t Read64(const uint8_t* p) {
   uint64_t v;
@@ -40,15 +38,6 @@ inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
   acc ^= val;
   acc = acc * kPrime1 + kPrime4;
   return acc;
-}
-
-inline uint64_t Avalanche(uint64_t h) {
-  h ^= h >> 33;
-  h *= kPrime2;
-  h ^= h >> 29;
-  h *= kPrime3;
-  h ^= h >> 32;
-  return h;
 }
 
 }  // namespace

@@ -7,6 +7,17 @@
 // specification so that the library has no external dependencies.
 // The implementation is validated against the reference test vectors
 // in tests/xxhash_test.cc.
+//
+// Besides the general byte-stream entry point this header exposes the
+// specialized 8-byte-key path inline (XxHash64Key8 and its
+// Round0/finish split).  OLH evaluates the hash of the *same* item
+// against thousands of report seeds per batch; splitting the
+// computation lets the item-only half (one multiply + rotate) hoist
+// out of the per-seed loop, and inlining removes the per-evaluation
+// call that dominates the out-of-line path.  The split is an exact
+// algebraic refactoring of the spec's len==8 case, so the result is
+// bit-identical to XxHash64(key, seed) (locked in by
+// tests/report_gen_batch_test.cc).
 
 #ifndef LDPR_UTIL_XXHASH_H_
 #define LDPR_UTIL_XXHASH_H_
@@ -16,9 +27,60 @@
 
 namespace ldpr {
 
+namespace xxhash_detail {
+
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t Rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace xxhash_detail
+
 /// Computes the 64-bit xxHash of `len` bytes starting at `data`,
 /// using `seed`.  Bit-compatible with the canonical XXH64.
 uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+/// The seed-independent half of the 8-byte-key path: the spec's
+/// Round(0, key).  Precompute once per item, then finish against any
+/// number of seeds with XxHash64Key8WithRound0.
+inline uint64_t XxHash64Round0(uint64_t key) {
+  using namespace xxhash_detail;
+  return Rotl64(key * kPrime2, 31) * kPrime1;
+}
+
+/// The seed-dependent half: `seed_acc` must be seed + kPrime5 + 8
+/// (see XxHash64SeedAcc), `round0` the item's XxHash64Round0.
+inline uint64_t XxHash64Key8WithRound0(uint64_t round0, uint64_t seed_acc) {
+  using namespace xxhash_detail;
+  uint64_t h = seed_acc ^ round0;
+  h = Rotl64(h, 27) * kPrime1 + kPrime4;
+  return Avalanche(h);
+}
+
+/// The per-seed accumulator the len==8 path starts from.
+inline uint64_t XxHash64SeedAcc(uint64_t seed) {
+  return seed + xxhash_detail::kPrime5 + 8;
+}
+
+/// Inline specialization of XxHash64 for an 8-byte little-endian key;
+/// bit-identical to XxHash64(&key, 8, seed).
+inline uint64_t XxHash64Key8(uint64_t key, uint64_t seed) {
+  return XxHash64Key8WithRound0(XxHash64Round0(key), XxHash64SeedAcc(seed));
+}
 
 /// Convenience overload hashing a 64-bit integer key (little-endian
 /// byte order, matching XXH64 of the 8 raw bytes).

@@ -1,0 +1,331 @@
+// Locks in the batched *generation* contract of this layer:
+//
+//  * AppendGenuineReports / SampleReportsBatch and every attack
+//    CraftBatch draw exactly the same randomness, in the same order,
+//    as the per-report Perturb / Craft code they replace — so the
+//    support counts are byte-identical and the caller's Rng stream
+//    position is unchanged by the switch;
+//  * batch sizes straddling the kBatchFlushReports and
+//    kReportsPerAggregationShard boundaries (8191/8192/8193) agree
+//    across the unsharded and sharded aggregation routes;
+//  * every SIMD kernel is bit-equal to its scalar reference on every
+//    backend the running machine offers (SetSimdBackendForTest);
+//  * the exact-arithmetic building blocks (FastMod, the split 8-byte
+//    xxHash) match their generic counterparts on extreme inputs.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/attack.h"
+#include "attack/ipa.h"
+#include "attack/manip.h"
+#include "attack/mga.h"
+#include "ldp/factory.h"
+#include "ldp/protocol.h"
+#include "ldp/report_batch.h"
+#include "recover/detection.h"
+#include "util/hash_family.h"
+#include "util/random.h"
+#include "util/simd.h"
+#include "util/xxhash.h"
+
+namespace ldpr {
+namespace {
+
+// A small synthetic population histogram with empty and heavy rows.
+std::vector<uint64_t> MakeItemCounts(size_t d, uint64_t total) {
+  std::vector<uint64_t> counts(d, 0);
+  Rng rng(total + d);
+  for (uint64_t u = 0; u < total; ++u)
+    ++counts[static_cast<size_t>(rng.UniformU64(d))];
+  counts[0] = 0;  // ensure an empty row
+  return counts;
+}
+
+std::vector<double> PerReportCounts(const FrequencyProtocol& proto,
+                                    const std::vector<Report>& reports) {
+  std::vector<double> counts(proto.domain_size(), 0.0);
+  for (const Report& r : reports) proto.AccumulateSupports(r, counts);
+  return counts;
+}
+
+// Legacy reference: per-user Perturb in the canonical order (users
+// grouped by item, items ascending).
+std::vector<Report> PerturbPopulation(const FrequencyProtocol& proto,
+                                      const std::vector<uint64_t>& item_counts,
+                                      Rng& rng) {
+  std::vector<Report> reports;
+  for (ItemId item = 0; item < item_counts.size(); ++item) {
+    for (uint64_t u = 0; u < item_counts[item]; ++u)
+      reports.push_back(proto.Perturb(item, rng));
+  }
+  return reports;
+}
+
+TEST(ReportGenBatchTest, GenuineBuilderMatchesPerturbForAllProtocols) {
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto proto = MakeProtocol(kind, /*d=*/37, /*epsilon=*/1.0);
+    const std::vector<uint64_t> item_counts = MakeItemCounts(37, 523);
+
+    Rng legacy_rng(41), builder_rng(41);
+    const std::vector<Report> reports =
+        PerturbPopulation(*proto, item_counts, legacy_rng);
+
+    ReportBatch batch;
+    ReportBatch::Builder builder(batch);
+    proto->SampleReportsBatch(item_counts, builder_rng, builder);
+    ASSERT_EQ(batch.size(), reports.size()) << ProtocolKindName(kind);
+
+    std::vector<double> batched(proto->domain_size(), 0.0);
+    proto->AccumulateSupportsBatch(batch, batched);
+    EXPECT_EQ(batched, PerReportCounts(*proto, reports))
+        << ProtocolKindName(kind);
+    // The generation overrides replace only materialization, never the
+    // draw sequence: both streams must sit at the same position.
+    EXPECT_EQ(legacy_rng.Next(), builder_rng.Next()) << ProtocolKindName(kind);
+  }
+}
+
+TEST(ReportGenBatchTest, ExactSupportCountsMatchesPerturbLoop) {
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto proto = MakeProtocol(kind, /*d=*/23, /*epsilon=*/0.8);
+    const std::vector<uint64_t> item_counts = MakeItemCounts(23, 700);
+
+    Rng legacy_rng(7), batch_rng(7);
+    const std::vector<double> reference = PerReportCounts(
+        *proto, PerturbPopulation(*proto, item_counts, legacy_rng));
+    EXPECT_EQ(proto->ExactSupportCounts(item_counts, batch_rng), reference)
+        << ProtocolKindName(kind);
+    EXPECT_EQ(legacy_rng.Next(), batch_rng.Next()) << ProtocolKindName(kind);
+  }
+}
+
+// Runs one attack through Craft and CraftBatch on identical Rng
+// streams and requires byte-identical support counts plus an
+// identical stream position afterwards.
+void ExpectCraftBatchMatchesCraft(const Attack& attack,
+                                  const FrequencyProtocol& proto, size_t m,
+                                  uint64_t seed) {
+  Rng legacy_rng(seed), batch_rng(seed);
+  const std::vector<Report> reports = attack.Craft(proto, m, legacy_rng);
+
+  ReportBatch batch;
+  ReportBatch::Builder builder(batch);
+  attack.CraftBatch(proto, m, batch_rng, builder);
+  ASSERT_EQ(batch.size(), m);
+
+  std::vector<double> batched(proto.domain_size(), 0.0);
+  proto.AccumulateSupportsBatch(batch, batched);
+  EXPECT_EQ(batched, PerReportCounts(proto, reports))
+      << attack.Name() << " on " << proto.Name();
+  EXPECT_EQ(legacy_rng.Next(), batch_rng.Next())
+      << attack.Name() << " on " << proto.Name();
+}
+
+TEST(ReportGenBatchTest, AttackCraftBatchMatchesCraftForAllProtocols) {
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto proto = MakeProtocol(kind, /*d=*/31, /*epsilon=*/1.0);
+    const std::vector<ItemId> targets = {2, 9, 17, 30};
+    ExpectCraftBatchMatchesCraft(MgaAttack(targets), *proto, 400, 13);
+    ExpectCraftBatchMatchesCraft(*MakeMgaIpa(31, targets), *proto, 400, 17);
+    ExpectCraftBatchMatchesCraft(ManipAttack(), *proto, 400, 19);
+  }
+}
+
+TEST(ReportGenBatchTest, BuilderBatchesAgreeAcrossShardChunkBoundaries) {
+  // 8191/8192/8193 straddle both kReportsPerAggregationShard (8192)
+  // and multiples of kBatchFlushReports (4096).
+  static_assert(kReportsPerAggregationShard == 8192,
+                "sizes below straddle the shard chunk size");
+  for (ProtocolKind kind : {ProtocolKind::kGrr, ProtocolKind::kOue,
+                            ProtocolKind::kOlh}) {
+    const auto proto = MakeProtocol(kind, /*d=*/19, /*epsilon=*/1.0);
+    for (size_t m : {size_t{8191}, size_t{8192}, size_t{8193}}) {
+      Rng rng(m);
+      const MgaAttack mga(MgaAttack::SampleTargets(19, 4, rng));
+      ReportBatch batch;
+      ReportBatch::Builder builder(batch);
+      mga.CraftBatch(*proto, m, rng, builder);
+
+      Aggregator unsharded(*proto);
+      unsharded.AddAll(batch);
+      for (size_t shards : {size_t{1}, size_t{3}}) {
+        Aggregator sharded(*proto);
+        sharded.AddAllSharded(batch, shards);
+        EXPECT_EQ(sharded.support_counts(), unsharded.support_counts())
+            << ProtocolKindName(kind) << " m=" << m << " shards=" << shards;
+        EXPECT_EQ(sharded.report_count(), m);
+      }
+    }
+  }
+}
+
+TEST(ReportGenBatchTest, DetectionExactGenuineMatchesPerUserOffer) {
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const auto proto = MakeProtocol(kind, /*d=*/29, /*epsilon=*/1.0);
+    const std::vector<ItemId> targets = {3, 11, 20};
+    const std::vector<uint64_t> item_counts = MakeItemCounts(29, 600);
+
+    Rng legacy_rng(3), batch_rng(3);
+    DetectionFilter per_user(*proto, targets);
+    for (const Report& r :
+         PerturbPopulation(*proto, item_counts, legacy_rng)) {
+      per_user.Offer(r);
+    }
+    DetectionFilter batched(*proto, targets);
+    batched.OfferExactGenuine(item_counts, batch_rng);
+
+    EXPECT_EQ(batched.offered(), per_user.offered()) << ProtocolKindName(kind);
+    EXPECT_EQ(batched.kept(), per_user.kept()) << ProtocolKindName(kind);
+    ASSERT_GT(batched.kept(), 0u) << ProtocolKindName(kind);
+    EXPECT_EQ(batched.Estimate(), per_user.Estimate())
+        << ProtocolKindName(kind);
+    EXPECT_EQ(legacy_rng.Next(), batch_rng.Next()) << ProtocolKindName(kind);
+  }
+}
+
+// ------------------------------------------------------------------
+// SIMD kernels: every backend available on this machine must be
+// bit-equal to the scalar reference on every kernel.
+
+std::vector<SimdBackend> TestableBackends() {
+  std::vector<SimdBackend> backends = {SimdBackend::kScalar};
+  // ActiveSimdBackend() only reports backends the machine supports,
+  // so it is always safe to pin.
+  if (ActiveSimdBackend() != SimdBackend::kScalar)
+    backends.push_back(ActiveSimdBackend());
+  return backends;
+}
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(SimdBackend backend) {
+    SetSimdBackendForTest(backend);
+  }
+  ~ScopedBackend() { ClearSimdBackendForTest(); }
+};
+
+TEST(SimdKernelTest, UnaryColumnsMatchScalarAcrossBackends) {
+  Rng rng(101);
+  for (size_t d : {size_t{7}, size_t{64}, size_t{100}}) {
+    // Sizes around the 255-row byte-lane sub-tile and vector widths.
+    for (size_t n : {size_t{0}, size_t{1}, size_t{254}, size_t{255},
+                     size_t{256}, size_t{1000}}) {
+      std::vector<uint8_t> rows(n * d);
+      for (uint8_t& b : rows) b = rng.Bernoulli(0.3) ? 1 : 0;
+      std::vector<const uint8_t*> ptrs(n);
+      for (size_t i = 0; i < n; ++i) ptrs[i] = rows.data() + i * d;
+
+      std::vector<uint32_t> reference(d, 5);  // nonzero carry-in
+      {
+        ScopedBackend scalar(SimdBackend::kScalar);
+        SimdUnaryColumnsAddPacked(rows.data(), n, d, reference.data());
+      }
+      for (SimdBackend backend : TestableBackends()) {
+        ScopedBackend scoped(backend);
+        std::vector<uint32_t> packed(d, 5);
+        SimdUnaryColumnsAddPacked(rows.data(), n, d, packed.data());
+        EXPECT_EQ(packed, reference)
+            << SimdBackendName(backend) << " packed n=" << n << " d=" << d;
+        std::vector<uint32_t> via_rows(d, 5);
+        SimdUnaryColumnsAddRows(ptrs.data(), n, d, via_rows.data());
+        EXPECT_EQ(via_rows, reference)
+            << SimdBackendName(backend) << " rows n=" << n << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ValueHistogramMatchesScalarAcrossBackends) {
+  Rng rng(202);
+  const size_t d = 50;
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{10007}}) {
+    std::vector<uint32_t> values(n);
+    for (uint32_t& v : values) v = static_cast<uint32_t>(rng.UniformU64(d));
+    std::vector<uint64_t> reference(d, 2);  // nonzero carry-in
+    {
+      ScopedBackend scalar(SimdBackend::kScalar);
+      SimdValueHistogramAdd(values.data(), n, d, reference.data());
+    }
+    for (SimdBackend backend : TestableBackends()) {
+      ScopedBackend scoped(backend);
+      std::vector<uint64_t> hist(d, 2);
+      SimdValueHistogramAdd(values.data(), n, d, hist.data());
+      EXPECT_EQ(hist, reference) << SimdBackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelTest, OlhSupportMatchesScalarAcrossBackends) {
+  Rng rng(303);
+  const size_t d = 33;
+  for (uint32_t g : {2u, 4u, 3u, 7u}) {  // pow2 and non-pow2 ranges
+    for (size_t n : {size_t{0}, size_t{1}, size_t{255}, size_t{256},
+                     size_t{257}, size_t{1000}}) {
+      std::vector<uint64_t> seeds(n);
+      std::vector<uint32_t> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        seeds[i] = rng.Next();
+        values[i] = static_cast<uint32_t>(rng.UniformU64(g));
+      }
+      std::vector<double> reference(d, 1.0);  // nonzero carry-in
+      {
+        ScopedBackend scalar(SimdBackend::kScalar);
+        SimdOlhSupportAdd(seeds.data(), values.data(), n, d, g,
+                          reference.data());
+      }
+      for (SimdBackend backend : TestableBackends()) {
+        ScopedBackend scoped(backend);
+        std::vector<double> counts(d, 1.0);
+        SimdOlhSupportAdd(seeds.data(), values.data(), n, d, g, counts.data());
+        EXPECT_EQ(counts, reference)
+            << SimdBackendName(backend) << " g=" << g << " n=" << n;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Exact-arithmetic building blocks.
+
+TEST(FastModTest, MatchesModuloOnExtremesAndRandomInputs) {
+  Rng rng(404);
+  const uint64_t max64 = ~uint64_t{0};
+  for (uint64_t g : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{4},
+                     uint64_t{5}, uint64_t{7}, uint64_t{8}, uint64_t{1023},
+                     uint64_t{1024}, uint64_t{1} << 31,
+                     (uint64_t{1} << 31) + 1, (uint64_t{1} << 63) - 25,
+                     uint64_t{1} << 63, max64}) {
+    const FastMod mod(g);
+    EXPECT_EQ(mod.divisor(), g);
+    for (uint64_t x : {uint64_t{0}, uint64_t{1}, g - 1, g, g + 1, max64 - 1,
+                       max64}) {
+      EXPECT_EQ(mod(x), x % g) << "g=" << g << " x=" << x;
+    }
+    for (int i = 0; i < 1000; ++i) {
+      const uint64_t x = rng.Next();
+      EXPECT_EQ(mod(x), x % g) << "g=" << g << " x=" << x;
+    }
+  }
+}
+
+TEST(XxHash64Key8Test, MatchesGeneralPath) {
+  Rng rng(505);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = (i < 4) ? uint64_t(i) : rng.Next();
+    const uint64_t seed = (i % 3 == 0) ? 0 : rng.Next();
+    const uint64_t expected = XxHash64(&key, sizeof(key), seed);
+    EXPECT_EQ(XxHash64Key8(key, seed), expected);
+    EXPECT_EQ(XxHash64(key, seed), expected);
+    EXPECT_EQ(XxHash64Key8WithRound0(XxHash64Round0(key),
+                                     XxHash64SeedAcc(seed)),
+              expected);
+  }
+}
+
+}  // namespace
+}  // namespace ldpr

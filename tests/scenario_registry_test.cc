@@ -269,6 +269,7 @@ TEST_F(ScenarioRegistryTest, TinyRunProducesCsvJsonlAndManifest) {
   EXPECT_NE(json.find("\"scenario\":\"table1\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":99"), std::string::npos);
   EXPECT_NE(json.find("\"scale\":0.002"), std::string::npos);
+  EXPECT_NE(json.find("\"simd\":\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":"), std::string::npos);
   EXPECT_NE(json.find("\"files\":[\"results.csv\",\"results.jsonl\"]"),
             std::string::npos);
