@@ -1,0 +1,456 @@
+// Streaming scenarios (extension): the windowed streaming ingest
+// engine (src/stream/) evaluated on arrival schedules batch mode
+// cannot express.  Four scenarios, one row per implemented protocol:
+//
+//   streaming_equiv   single window spanning the whole stream under a
+//                     constant attacker trickle; its CountDrift
+//                     column is the max absolute difference between
+//                     the streaming engine's support counts and
+//                     Aggregator::AddAllSharded on the replayed batch
+//                     — exactly 0.0 by the batch-equivalence
+//                     contract, so ldpr_diff gates the equivalence
+//                     from day one.
+//   streaming_wave    a mid-stream MGA wave (on at 30%, off at 70% of
+//                     the stream) vs a clean run of the same
+//                     schedule: per-window MSE and windows-to-
+//                     detection latency (clean cell reports the -1
+//                     sentinel).  Runs sliding windows (stride =
+//                     window/2) to exercise the pane path.
+//   streaming_ramp    attacker fraction ramping 0 -> 0.3; first/last
+//                     window attacker counts witness the monotone
+//                     quota schedule.
+//   streaming_drift   genuine distribution drifting Zipf(1.6) ->
+//                     Zipf(0.6) across 8 segments with a wave on
+//                     top; TrueDrift is the L1 distance between the
+//                     first and last windows' genuine ground truth.
+//
+// Determinism: RunStream is serial per trial and the (cell x trial)
+// grid fans out through RunTrialGrid with per-trial derived seeds, so
+// every column is a pure function of (spec, seed, scale, trials) —
+// no timing columns, full byte-compare determinism
+// (tests/streaming_scenario_test.cc, scenario_*_determinism ctest).
+//
+// Detection thresholds: genuine perturbed reports trip the target
+// filter at a protocol-dependent base rate b (e.g. ~q*r for GRR,
+// ~0.62 for BLH's majority rule at r=10), so each row's
+// detect_fraction sits halfway between b and the suspicious fraction
+// a full-strength MGA window would produce, b + a*(1-b)/2.
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldp/factory.h"
+#include "runner/scenario_runner.h"
+#include "scenarios.h"
+#include "stream/streaming_engine.h"
+#include "util/metrics.h"
+
+namespace ldpr {
+namespace bench {
+namespace {
+
+// ~10 tumbling windows over the scaled stream, clamped so CI-scale
+// streams (tens of reports) still form at least one window.
+size_t DefaultWindowReports(size_t total) {
+  return std::max<size_t>(1, total / 10);
+}
+
+StreamEngineOptions OptionsFor(const FrequencyProtocol& protocol,
+                               size_t num_targets, double peak_fraction) {
+  StreamEngineOptions options;
+  const double base = ApproxGenuineSuspicionRate(protocol, num_targets);
+  options.detect_fraction = base + peak_fraction * (1.0 - base) / 2.0;
+  return options;
+}
+
+double DetectColumn(const StreamSummary& summary) {
+  return static_cast<double>(summary.windows_to_detection);
+}
+
+// Shared registration boilerplate of the four scenarios.
+Scenario MakeStreamingScenario(const char* id, const char* title,
+                               std::vector<std::string> columns) {
+  Scenario scenario;
+  ScenarioSpec& spec = scenario.spec;
+  spec.id = id;
+  spec.title = title;
+  spec.artifact = "extension";
+  spec.metric_desc = "per-window MSE / detection latency";
+  spec.datasets = {"zipf"};
+  spec.protocols.assign(std::begin(kExtendedProtocolKinds),
+                        std::end(kExtendedProtocolKinds));
+  spec.attacks = {AttackKind::kMga};
+  spec.columns = std::move(columns);
+  spec.custom = true;
+  return scenario;
+}
+
+// ------------------------------------------------------------ equiv
+
+struct EquivRow {
+  double stream_mse = 0, batch_mse = 0, drift = 0, detect = 0;
+};
+
+Status RunStreamingEquiv(ScenarioContext& ctx) {
+  const ScenarioSpec& spec = ctx.spec;
+  const Dataset& data = ctx.datasets[0];
+  const size_t cells = spec.protocols.size();
+
+  std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
+  for (ProtocolKind kind : spec.protocols)
+    protocols.push_back(
+        MakeProtocol(kind, data.domain_size(), spec.defaults.epsilon));
+
+  StreamSpec stream;
+  stream.total_reports = data.num_users();
+  stream.window_reports = stream.total_reports;  // one window = the batch
+  stream.item_counts = data.item_counts;
+  stream.wave = WaveShape::kConstant;
+  stream.attacker_fraction = 0.05;
+  stream.num_targets = spec.defaults.num_targets;
+
+  ThreadBudget budget;
+  const std::vector<EquivRow> rows = RunTrialGrid<EquivRow>(
+      cells, ctx.trials, ctx.seed,
+      [&](size_t cell, size_t shards, uint64_t trial_seed) {
+        const FrequencyProtocol& protocol = *protocols[cell];
+        StreamEngineOptions options =
+            OptionsFor(protocol, stream.num_targets, stream.attacker_fraction);
+        options.run_recovery = false;
+        const StreamSummary summary =
+            RunStream(protocol, stream, options, trial_seed);
+
+        // The batch path on the very same reports: replay the arrival
+        // schedule (identical draws) and aggregate through
+        // AddAllSharded.
+        const StreamReplay replay =
+            ReplayStream(protocol, stream, trial_seed);
+        Aggregator aggregator(protocol);
+        aggregator.AddAllSharded(replay.reports, shards);
+
+        EquivRow row;
+        row.stream_mse = summary.mean_mse_estimate;
+        uint64_t genuine = 0;
+        for (uint64_t c : replay.genuine_item_counts) genuine += c;
+        std::vector<double> true_freqs(replay.genuine_item_counts.size());
+        for (size_t v = 0; v < true_freqs.size(); ++v)
+          true_freqs[v] = static_cast<double>(replay.genuine_item_counts[v]) /
+                          static_cast<double>(genuine);
+        row.batch_mse = Mse(true_freqs, aggregator.EstimateFrequencies());
+        const std::vector<double>& batch_counts = aggregator.support_counts();
+        for (size_t v = 0; v < batch_counts.size(); ++v) {
+          row.drift = std::max(
+              row.drift,
+              std::abs(summary.final_support_counts[v] - batch_counts[v]));
+        }
+        row.detect = DetectColumn(summary);
+        return row;
+      },
+      &budget);
+  ctx.report.outer_workers = budget.outer;
+  ctx.report.shards = budget.inner;
+
+  ctx.sink.BeginTable("Streaming vs batch equivalence (Zipf)", spec.columns);
+  for (size_t cell = 0; cell < cells; ++cell) {
+    RunningStat stream_mse, batch_mse, drift, detect;
+    for (size_t t = 0; t < ctx.trials; ++t) {
+      const EquivRow& row = rows[cell * ctx.trials + t];
+      stream_mse.Add(row.stream_mse);
+      batch_mse.Add(row.batch_mse);
+      drift.Add(row.drift);
+      detect.Add(row.detect);
+    }
+    ctx.sink.AddRow(ProtocolKindName(spec.protocols[cell]),
+                    {stream_mse.mean(), batch_mse.mean(), drift.mean(),
+                     detect.mean()});
+    ++ctx.report.rows;
+  }
+  ctx.sink.EndTable();
+  ++ctx.report.tables;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- wave
+
+struct WaveRow {
+  double clean_mse = 0, wave_mse = 0, wave_rec = 0;
+  double clean_detect = 0, wave_detect = 0, detected = 0;
+};
+
+Status RunStreamingWave(ScenarioContext& ctx) {
+  const ScenarioSpec& spec = ctx.spec;
+  const Dataset& data = ctx.datasets[0];
+  const size_t cells = spec.protocols.size();
+
+  std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
+  for (ProtocolKind kind : spec.protocols)
+    protocols.push_back(
+        MakeProtocol(kind, data.domain_size(), spec.defaults.epsilon));
+
+  const size_t total = data.num_users();
+  const size_t window = DefaultWindowReports(total);
+  // Sliding windows: stride = half a window (pane path), degrading to
+  // tumbling when the window is a single report.
+  const size_t stride = std::max<size_t>(1, window / 2);
+  const double peak = 0.25;
+
+  StreamSpec clean;
+  clean.total_reports = total;
+  clean.window_reports = stride * (window / stride);
+  clean.stride_reports = stride;
+  clean.item_counts = data.item_counts;
+  clean.wave = WaveShape::kNone;
+  clean.num_targets = spec.defaults.num_targets;
+
+  StreamSpec wave = clean;
+  wave.wave = WaveShape::kWave;
+  wave.attacker_fraction = peak;
+  wave.wave_start = total * 3 / 10;
+  wave.wave_end = total * 7 / 10;
+
+  ThreadBudget budget;
+  const std::vector<WaveRow> rows = RunTrialGrid<WaveRow>(
+      cells, ctx.trials, ctx.seed,
+      [&](size_t cell, size_t /*shards*/, uint64_t trial_seed) {
+        const FrequencyProtocol& protocol = *protocols[cell];
+        const StreamEngineOptions options =
+            OptionsFor(protocol, clean.num_targets, peak);
+        const StreamSummary clean_run =
+            RunStream(protocol, clean, options, trial_seed);
+        const StreamSummary wave_run =
+            RunStream(protocol, wave, options, trial_seed);
+        WaveRow row;
+        row.clean_mse = clean_run.mean_mse_estimate;
+        row.wave_mse = wave_run.mean_mse_estimate;
+        row.wave_rec = wave_run.mean_mse_recovered;
+        row.clean_detect = DetectColumn(clean_run);
+        row.wave_detect = DetectColumn(wave_run);
+        row.detected = wave_run.windows_to_detection != kNoDetection;
+        return row;
+      },
+      &budget);
+  ctx.report.outer_workers = budget.outer;
+  ctx.report.shards = budget.inner;
+
+  ctx.sink.BeginTable("Streaming MGA wave (Zipf): clean vs attacked",
+                      spec.columns);
+  for (size_t cell = 0; cell < cells; ++cell) {
+    RunningStat clean_mse, wave_mse, wave_rec, clean_det, wave_det, rate;
+    for (size_t t = 0; t < ctx.trials; ++t) {
+      const WaveRow& row = rows[cell * ctx.trials + t];
+      clean_mse.Add(row.clean_mse);
+      wave_mse.Add(row.wave_mse);
+      wave_rec.Add(row.wave_rec);
+      clean_det.Add(row.clean_detect);
+      wave_det.Add(row.wave_detect);
+      rate.Add(row.detected);
+    }
+    ctx.sink.AddRow(ProtocolKindName(spec.protocols[cell]),
+                    {clean_mse.mean(), wave_mse.mean(), wave_rec.mean(),
+                     clean_det.mean(), wave_det.mean(), rate.mean()});
+    ++ctx.report.rows;
+  }
+  ctx.sink.EndTable();
+  ++ctx.report.tables;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- ramp
+
+struct RampRow {
+  double mse = 0, rec = 0, first_atk = 0, last_atk = 0, detect = 0;
+};
+
+Status RunStreamingRamp(ScenarioContext& ctx) {
+  const ScenarioSpec& spec = ctx.spec;
+  const Dataset& data = ctx.datasets[0];
+  const size_t cells = spec.protocols.size();
+
+  std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
+  for (ProtocolKind kind : spec.protocols)
+    protocols.push_back(
+        MakeProtocol(kind, data.domain_size(), spec.defaults.epsilon));
+
+  StreamSpec stream;
+  stream.total_reports = data.num_users();
+  stream.window_reports = DefaultWindowReports(stream.total_reports);
+  stream.item_counts = data.item_counts;
+  stream.wave = WaveShape::kRamp;
+  stream.attacker_fraction = 0.3;
+  stream.num_targets = spec.defaults.num_targets;
+
+  ThreadBudget budget;
+  const std::vector<RampRow> rows = RunTrialGrid<RampRow>(
+      cells, ctx.trials, ctx.seed,
+      [&](size_t cell, size_t /*shards*/, uint64_t trial_seed) {
+        const FrequencyProtocol& protocol = *protocols[cell];
+        const StreamEngineOptions options = OptionsFor(
+            protocol, stream.num_targets, stream.attacker_fraction);
+        const StreamSummary summary =
+            RunStream(protocol, stream, options, trial_seed);
+        RampRow row;
+        row.mse = summary.mean_mse_estimate;
+        row.rec = summary.mean_mse_recovered;
+        if (!summary.windows.empty()) {
+          row.first_atk =
+              static_cast<double>(summary.windows.front().attackers);
+          row.last_atk = static_cast<double>(summary.windows.back().attackers);
+        }
+        row.detect = DetectColumn(summary);
+        return row;
+      },
+      &budget);
+  ctx.report.outer_workers = budget.outer;
+  ctx.report.shards = budget.inner;
+
+  ctx.sink.BeginTable("Streaming ramping attacker fraction (Zipf)",
+                      spec.columns);
+  for (size_t cell = 0; cell < cells; ++cell) {
+    RunningStat mse, rec, first_atk, last_atk, detect;
+    for (size_t t = 0; t < ctx.trials; ++t) {
+      const RampRow& row = rows[cell * ctx.trials + t];
+      mse.Add(row.mse);
+      rec.Add(row.rec);
+      first_atk.Add(row.first_atk);
+      last_atk.Add(row.last_atk);
+      detect.Add(row.detect);
+    }
+    ctx.sink.AddRow(ProtocolKindName(spec.protocols[cell]),
+                    {mse.mean(), rec.mean(), first_atk.mean(),
+                     last_atk.mean(), detect.mean()});
+    ++ctx.report.rows;
+  }
+  ctx.sink.EndTable();
+  ++ctx.report.tables;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ drift
+
+struct DriftRow {
+  double mse = 0, rec = 0, true_drift = 0, detect = 0;
+};
+
+Status RunStreamingDrift(ScenarioContext& ctx) {
+  const ScenarioSpec& spec = ctx.spec;
+  const Dataset& data = ctx.datasets[0];
+  const size_t cells = spec.protocols.size();
+
+  std::vector<std::unique_ptr<FrequencyProtocol>> protocols;
+  for (ProtocolKind kind : spec.protocols)
+    protocols.push_back(
+        MakeProtocol(kind, data.domain_size(), spec.defaults.epsilon));
+
+  const size_t total = data.num_users();
+  StreamSpec stream;
+  stream.total_reports = total;
+  stream.window_reports = DefaultWindowReports(total);
+  stream.domain_size = data.domain_size();
+  stream.zipf_s_start = 1.6;
+  stream.zipf_s_end = 0.6;
+  stream.zipf_segments = 8;
+  stream.wave = WaveShape::kWave;
+  stream.attacker_fraction = 0.2;
+  stream.wave_start = total * 4 / 10;
+  stream.wave_end = total * 7 / 10;
+  stream.num_targets = spec.defaults.num_targets;
+
+  ThreadBudget budget;
+  const std::vector<DriftRow> rows = RunTrialGrid<DriftRow>(
+      cells, ctx.trials, ctx.seed,
+      [&](size_t cell, size_t /*shards*/, uint64_t trial_seed) {
+        const FrequencyProtocol& protocol = *protocols[cell];
+        const StreamEngineOptions options = OptionsFor(
+            protocol, stream.num_targets, stream.attacker_fraction);
+        const StreamSummary summary =
+            RunStream(protocol, stream, options, trial_seed);
+        DriftRow row;
+        row.mse = summary.mean_mse_estimate;
+        row.rec = summary.mean_mse_recovered;
+        if (summary.windows.size() >= 2) {
+          const WindowResult& first = summary.windows.front();
+          const WindowResult& last = summary.windows.back();
+          const auto freqs = [](const WindowResult& w) {
+            uint64_t genuine = 0;
+            for (uint64_t c : w.genuine_tally) genuine += c;
+            std::vector<double> f(w.genuine_tally.size(), 0.0);
+            if (genuine > 0) {
+              for (size_t v = 0; v < f.size(); ++v)
+                f[v] = static_cast<double>(w.genuine_tally[v]) /
+                       static_cast<double>(genuine);
+            }
+            return f;
+          };
+          row.true_drift = L1Distance(freqs(first), freqs(last));
+        }
+        row.detect = DetectColumn(summary);
+        return row;
+      },
+      &budget);
+  ctx.report.outer_workers = budget.outer;
+  ctx.report.shards = budget.inner;
+
+  ctx.sink.BeginTable("Streaming drifting Zipf + wave", spec.columns);
+  for (size_t cell = 0; cell < cells; ++cell) {
+    RunningStat mse, rec, true_drift, detect;
+    for (size_t t = 0; t < ctx.trials; ++t) {
+      const DriftRow& row = rows[cell * ctx.trials + t];
+      mse.Add(row.mse);
+      rec.Add(row.rec);
+      true_drift.Add(row.true_drift);
+      detect.Add(row.detect);
+    }
+    ctx.sink.AddRow(ProtocolKindName(spec.protocols[cell]),
+                    {mse.mean(), rec.mean(), true_drift.mean(),
+                     detect.mean()});
+    ++ctx.report.rows;
+  }
+  ctx.sink.EndTable();
+  ++ctx.report.tables;
+  return Status::Ok();
+}
+
+}  // namespace
+
+void RegisterStreamingEquiv(ScenarioRegistry& registry) {
+  Scenario scenario = MakeStreamingScenario(
+      "streaming_equiv",
+      "streaming_equiv: single-window streaming vs batch equivalence",
+      {"StreamMSE", "BatchMSE", "CountDrift", "Detect"});
+  scenario.run = RunStreamingEquiv;
+  registry.Register(std::move(scenario));
+}
+
+void RegisterStreamingWave(ScenarioRegistry& registry) {
+  Scenario scenario = MakeStreamingScenario(
+      "streaming_wave",
+      "streaming_wave: mid-stream MGA wave, detection latency",
+      {"CleanMSE", "WaveMSE", "WaveRec", "CleanDetect", "WaveDetect",
+       "DetectRate"});
+  scenario.run = RunStreamingWave;
+  registry.Register(std::move(scenario));
+}
+
+void RegisterStreamingRamp(ScenarioRegistry& registry) {
+  Scenario scenario = MakeStreamingScenario(
+      "streaming_ramp",
+      "streaming_ramp: ramping attacker fraction, monotone quota",
+      {"MSE", "Rec", "AtkFirstWin", "AtkLastWin", "Detect"});
+  scenario.run = RunStreamingRamp;
+  registry.Register(std::move(scenario));
+}
+
+void RegisterStreamingDrift(ScenarioRegistry& registry) {
+  Scenario scenario = MakeStreamingScenario(
+      "streaming_drift",
+      "streaming_drift: drifting Zipf genuine distribution + wave",
+      {"MSE", "Rec", "TrueDrift", "Detect"});
+  scenario.run = RunStreamingDrift;
+  registry.Register(std::move(scenario));
+}
+
+}  // namespace bench
+}  // namespace ldpr

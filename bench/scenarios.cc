@@ -18,6 +18,10 @@ void RegisterAllScenarios() {
     RegisterExtProtocols(registry);
     RegisterScalingN(registry);
     RegisterScalingD(registry);
+    RegisterStreamingEquiv(registry);
+    RegisterStreamingWave(registry);
+    RegisterStreamingRamp(registry);
+    RegisterStreamingDrift(registry);
     return true;
   }();
   (void)registered;

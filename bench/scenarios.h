@@ -27,6 +27,10 @@ void RegisterAblation(ScenarioRegistry& registry);
 void RegisterExtProtocols(ScenarioRegistry& registry);
 void RegisterScalingN(ScenarioRegistry& registry);
 void RegisterScalingD(ScenarioRegistry& registry);
+void RegisterStreamingEquiv(ScenarioRegistry& registry);
+void RegisterStreamingWave(ScenarioRegistry& registry);
+void RegisterStreamingRamp(ScenarioRegistry& registry);
+void RegisterStreamingDrift(ScenarioRegistry& registry);
 
 /// Registers every paper figure/table scenario into the global
 /// registry, in the order `ldpr_bench --list` reports them.  Safe to

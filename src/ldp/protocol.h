@@ -270,6 +270,9 @@ class FrequencyProtocol {
 /// dispatch, small enough to bound the buffered unary bit rows
 /// (4096 * d bytes — 16 MB at the scaling scenarios' largest
 /// d=4096, a few hundred KB at paper-table domain sizes).
+/// The windowed stream engine (stream/streaming_engine.h) flushes its
+/// per-pane buffers at this same size, so it also caps that path's
+/// peak_buffered_reports.
 inline constexpr size_t kBatchFlushReports = 4096;
 
 /// Streaming adapter over AccumulateSupportsBatch: buffers added

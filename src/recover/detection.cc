@@ -1,5 +1,6 @@
 #include "recover/detection.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ldp/grr.h"
@@ -262,11 +263,23 @@ void DetectionFilter::OfferSampledOue(const std::vector<uint64_t>& item_counts,
   }
 }
 
-void DetectionFilter::OfferStreaming(const std::vector<uint64_t>& item_counts,
-                                     Rng& rng) {
+void DetectionFilter::OfferStreamingGenuine(
+    const std::vector<uint64_t>& item_counts, Rng& rng) {
   // Per-user perturbation order (and so the RNG stream) is unchanged;
   // generation and filtering run through the SoA tile path.
   OfferExactGenuine(item_counts, rng);
+}
+
+void DetectionFilter::OfferStreaming(const ReportBatch& batch) {
+  OfferAll(batch);
+}
+
+void DetectionFilter::ResetWindow() {
+  total_offered_base_ += offered_;
+  total_kept_base_ += kept_;
+  offered_ = 0;
+  kept_ = 0;
+  std::fill(kept_counts_.begin(), kept_counts_.end(), 0.0);
 }
 
 void DetectionFilter::OfferSampledGenuine(
@@ -284,7 +297,7 @@ void DetectionFilter::OfferSampledGenuine(
     case ProtocolKind::kBlh:
       // Shared hash seeds correlate target and non-target support, so
       // there is no clean product-form fast path; stream per user.
-      OfferStreaming(item_counts, rng);
+      OfferStreamingGenuine(item_counts, rng);
       return;
   }
 }

@@ -50,6 +50,23 @@ class DetectionFilter {
   void OfferAll(const ReportBatch& batch);
   void OfferAll(const std::vector<Report>& reports);
 
+  /// Incremental streaming offer: feeds one flush-sized tile of an
+  /// arriving report stream (classification is per-report and
+  /// stateless, so tiling never changes the outcome).  Identical to
+  /// OfferAll — the separate name documents the windowed contract:
+  /// offered()/kept()/Estimate() describe the *current window* (the
+  /// reports offered since the last ResetWindow), and the streaming
+  /// engine calls ResetWindow at every pane boundary.
+  void OfferStreaming(const ReportBatch& batch);
+
+  /// Closes the current window: folds offered()/kept() into the
+  /// lifetime totals and zeroes the per-window counters and kept
+  /// support counts, so the next window's classification state starts
+  /// clean (no cross-window leakage of kept counts — the next
+  /// Estimate() is exactly a fresh filter's; regression-tested in
+  /// tests/detection_test.cc).
+  void ResetWindow();
+
   /// Feeds the reports of genuine users summarized by an item-count
   /// histogram, simulating every user exactly: generates SoA report
   /// tiles through the protocol's batched generation (the same
@@ -77,9 +94,14 @@ class DetectionFilter {
   void OfferSampledGenuineSharded(const std::vector<uint64_t>& item_counts,
                                   uint64_t seed, size_t shards);
 
-  /// Reports seen / kept so far.
+  /// Reports seen / kept in the current window (since the last
+  /// ResetWindow; the whole stream when ResetWindow is never called).
   size_t offered() const { return offered_; }
   size_t kept() const { return kept_; }
+
+  /// Lifetime totals across all windows, including the current one.
+  size_t total_offered() const { return total_offered_base_ + offered_; }
+  size_t total_kept() const { return total_kept_base_ + kept_; }
 
   /// Frequency estimate over the kept reports (normalized by the kept
   /// count, as the baseline prescribes).  Requires kept() > 0.
@@ -93,7 +115,12 @@ class DetectionFilter {
 
   void OfferSampledGrr(const std::vector<uint64_t>& item_counts, Rng& rng);
   void OfferSampledOue(const std::vector<uint64_t>& item_counts, Rng& rng);
-  void OfferStreaming(const std::vector<uint64_t>& item_counts, Rng& rng);
+  // Per-user streaming simulation of a genuine population histogram
+  // (the OLH/BLH fallback of OfferSampledGenuine).  Formerly named
+  // OfferStreaming; renamed so the incremental-window entry point
+  // above owns that name.
+  void OfferStreamingGenuine(const std::vector<uint64_t>& item_counts,
+                             Rng& rng);
 
   const FrequencyProtocol& protocol_;
   std::vector<ItemId> targets_;
@@ -102,6 +129,8 @@ class DetectionFilter {
   std::vector<double> kept_counts_;
   size_t offered_ = 0;
   size_t kept_ = 0;
+  size_t total_offered_base_ = 0;
+  size_t total_kept_base_ = 0;
 };
 
 }  // namespace ldpr

@@ -3,7 +3,8 @@
 // their ExperimentConfig grids, fans the grid across the thread
 // budget, and streams every row through the ResultSink.  Custom
 // scenarios get a ScenarioContext and the RunTrialGrid helper
-// instead.
+// instead (the streaming_* scenarios run one RunStream per trial
+// inside RunTrialGrid — serial per trial, parallel across cells).
 //
 // Determinism: a scenario's sink output is a pure function of
 // (spec, seed, scale, trials) — the thread budget never reaches the

@@ -19,9 +19,11 @@
 //   3. otherwise — one table per dataset, one row per protocol
 //      (Table I, Figure 4).
 //
-// Custom scenarios (ablation, ext_protocols, fig9) set `custom` and
-// run their own trial loops; their spec still declares the axes as
-// data for --list, documentation, and the registry round-trip test.
+// Custom scenarios (ablation, ext_protocols, fig9, and the
+// streaming_* windowed-ingest cells in bench/scenario_streaming.cc)
+// set `custom` and run their own trial loops; their spec still
+// declares the axes as data for --list, documentation, and the
+// registry round-trip test.
 
 #ifndef LDPR_SIM_SCENARIO_SPEC_H_
 #define LDPR_SIM_SCENARIO_SPEC_H_

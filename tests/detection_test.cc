@@ -145,6 +145,67 @@ TEST(DetectionFilterTest, EstimateNormalizesByKeptCount) {
   EXPECT_NEAR(freqs[8], expected, 0.03);
 }
 
+// Windowed streaming contract: ResetWindow must clear per-window
+// state completely, so a filter that saw window A before the reset
+// behaves on window B exactly like a fresh filter fed only window B —
+// no kept-count leakage across the boundary — while the lifetime
+// totals keep accumulating.
+TEST(DetectionFilterTest, ResetWindowLeavesNoCrossWindowState) {
+  const size_t d = 20;
+  for (ProtocolKind kind :
+       {ProtocolKind::kGrr, ProtocolKind::kOue, ProtocolKind::kOlh}) {
+    const auto proto = MakeProtocol(kind, d, 0.8);
+    const std::vector<ItemId> targets = {2, 7};
+
+    // Window A: genuine reports plus a small MGA cohort (so some
+    // reports are dropped and kept_counts_ accumulates mass).  Window
+    // B: genuine reports from a disjoint item mix.
+    Rng rng(11);
+    ReportBatch window_a, window_b;
+    {
+      ReportBatch::Builder builder(window_a);
+      for (ItemId item = 0; item < d; ++item)
+        proto->AppendGenuineReports(item, 40, rng, builder);
+      const MgaAttack attack(targets);
+      attack.CraftBatch(*proto, 60, rng, builder);
+    }
+    {
+      ReportBatch::Builder builder(window_b);
+      for (ItemId item = 0; item < d / 2; ++item)
+        proto->AppendGenuineReports(item, 50, rng, builder);
+    }
+
+    DetectionFilter streaming(*proto, targets);
+    streaming.OfferStreaming(window_a);
+    const size_t a_offered = streaming.offered();
+    const size_t a_kept = streaming.kept();
+    EXPECT_EQ(a_offered, window_a.size());
+    EXPECT_LT(a_kept, a_offered) << ProtocolKindName(kind);
+
+    streaming.ResetWindow();
+    EXPECT_EQ(streaming.offered(), 0u);
+    EXPECT_EQ(streaming.kept(), 0u);
+    streaming.OfferStreaming(window_b);
+
+    // A fresh filter that never saw window A.
+    DetectionFilter fresh(*proto, targets);
+    fresh.OfferStreaming(window_b);
+
+    EXPECT_EQ(streaming.offered(), fresh.offered()) << ProtocolKindName(kind);
+    EXPECT_EQ(streaming.kept(), fresh.kept()) << ProtocolKindName(kind);
+    const auto streamed = streaming.Estimate();
+    const auto expected = fresh.Estimate();
+    for (size_t v = 0; v < d; ++v) {
+      EXPECT_EQ(streamed[v], expected[v])
+          << ProtocolKindName(kind) << " item " << v;
+    }
+
+    // Lifetime totals span both windows.
+    EXPECT_EQ(streaming.total_offered(), a_offered + fresh.offered());
+    EXPECT_EQ(streaming.total_kept(), a_kept + fresh.kept());
+  }
+}
+
 TEST(DetectionFilterDeathTest, RejectsEmptyTargets) {
   const Grr grr(5, 0.5);
   EXPECT_DEATH(DetectionFilter(grr, {}), "LDPR_CHECK");

@@ -35,7 +35,9 @@ class ScenarioRegistryTest : public ::testing::Test {
 const char* const kExpectedIds[] = {
     "table1", "fig3",  "fig4",     "fig5",          "fig6",
     "fig7",   "fig8",  "fig9",     "fig10",         "ablation",
-    "ext_protocols",   "scaling_n", "scaling_d"};
+    "ext_protocols",   "scaling_n", "scaling_d",
+    "streaming_equiv", "streaming_wave", "streaming_ramp",
+    "streaming_drift"};
 
 TEST_F(ScenarioRegistryTest, EveryListedIdResolves) {
   const ScenarioRegistry& registry = ScenarioRegistry::Global();
