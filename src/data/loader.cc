@@ -13,6 +13,15 @@ StatusOr<LoadedDataset> LoadItemCsv(const std::string& path,
   const auto& rows = rows_or.value();
 
   LoadedDataset out;
+  // Determinism audit (lint rule R2): this map is keyed-access only —
+  // `emplace` + `it->second` below.  It is never iterated, so its
+  // hash-dependent element order cannot reach any output.  The
+  // label -> id assignment that DOES reach output (item_labels,
+  // item_counts, and every downstream estimate indexed by id) is fixed
+  // by first-appearance row order: ids.size() at insertion time.  Do
+  // not "clean this up" into a std::map — sorted order would reassign
+  // ids and break byte-equality against ci/baseline.
+  // tests/loader_test.cc (HashOrderNeverReachesOutput) pins this down.
   std::unordered_map<std::string, size_t> ids;
   std::vector<uint64_t> counts;
 

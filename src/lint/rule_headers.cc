@@ -1,0 +1,90 @@
+// R5 — canonical include guards on public headers.
+//
+// Every header under src/ must open with the guard derived from its
+// path (src/ldp/grr.h -> LDPR_LDP_GRR_H_): a wrong or duplicated
+// guard silently drops declarations when two headers collide, and the
+// guard is also what the generated one-TU-per-header self-containment
+// target (ldpr_header_selfcontain in CMakeLists.txt) relies on to
+// compile each header alone.  This rule is the static half; the build
+// target is the proof.
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ldpr {
+namespace lint {
+namespace {
+
+std::string CanonicalGuard(const std::string& path) {
+  // Strip the leading "src/"; headers elsewhere are out of scope.
+  std::string guard = "LDPR_";
+  const std::string rel =
+      path.compare(0, 4, "src/") == 0 ? path.substr(4) : path;
+  for (char c : rel) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else if (c >= 'a' && c <= 'z') {
+      guard.push_back(static_cast<char>(c - 'a' + 'A'));
+    } else {
+      guard.push_back(c);
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+/// The directive's argument, or "" when the line is not `#<name> X`.
+std::string DirectiveArg(const std::string& line, const std::string& name) {
+  size_t pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos || line[pos] != '#') return "";
+  pos = line.find_first_not_of(" \t", pos + 1);
+  if (pos == std::string::npos || line.compare(pos, name.size(), name) != 0) {
+    return "";
+  }
+  pos = line.find_first_not_of(" \t", pos + name.size());
+  if (pos == std::string::npos) return "";
+  size_t end = pos;
+  while (end < line.size() && IsIdentChar(line[end])) ++end;
+  return line.substr(pos, end - pos);
+}
+
+}  // namespace
+
+void CheckHeaderGuard(const SourceFile& file, std::vector<Finding>* out) {
+  const std::string want = CanonicalGuard(file.path);
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string guard = DirectiveArg(file.code_lines[i], "ifndef");
+    if (guard.empty()) continue;
+    if (guard != want) {
+      out->push_back(Finding{
+          file.path, i + 1, "R5",
+          "include guard '" + guard + "' is not the canonical '" + want +
+              "' for this path — colliding guards silently drop "
+              "declarations"});
+      return;
+    }
+    // The matching #define must follow on the next directive line.
+    for (size_t j = i + 1; j < file.code_lines.size(); ++j) {
+      const std::string& next = file.code_lines[j];
+      if (next.find_first_not_of(" \t") == std::string::npos) continue;
+      const std::string defined = DirectiveArg(next, "define");
+      if (defined != want) {
+        out->push_back(Finding{
+            file.path, j + 1, "R5",
+            "include guard '" + want + "' has no matching #define " + want +
+                " directly after its #ifndef"});
+      }
+      return;
+    }
+    return;
+  }
+  out->push_back(Finding{
+      file.path, 1, "R5",
+      "missing include guard: expected #ifndef " + want +
+          " as the first directive (self-containment contract)"});
+}
+
+}  // namespace lint
+}  // namespace ldpr

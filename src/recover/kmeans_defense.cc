@@ -17,7 +17,7 @@ double SquaredDistance(const std::vector<double>& a,
   double total = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double diff = a[i] - b[i];
-    total += diff * diff;
+    total += diff * diff;  // lint: fp-order-ok(serial per-row loop)
   }
   return total;
 }
@@ -30,6 +30,7 @@ std::vector<double> MeanOfRows(const std::vector<std::vector<double>>& rows,
   for (size_t i = 0; i < rows.size(); ++i) {
     if (mask[i] != which) continue;
     if (mean.empty()) mean.assign(rows[i].size(), 0.0);
+    // lint: fp-order-ok(serial row-order loop; never sharded)
     for (size_t j = 0; j < rows[i].size(); ++j) mean[j] += rows[i][j];
     ++count;
   }
@@ -79,6 +80,7 @@ std::vector<uint8_t> TwoMeansCluster(
 
     double inertia = 0.0;
     for (size_t i = 0; i < n; ++i)
+      // lint: fp-order-ok(serial row-order loop)
       inertia += SquaredDistance(rows[i], labels[i] ? c1 : c0);
     if (inertia < best_inertia) {
       best_inertia = inertia;

@@ -35,6 +35,7 @@ std::vector<double> Project(const std::vector<double>& estimate,
     LDPR_CHECK(!active.empty());
     // mu/2 = (sum_{D*} f~ - 1) / |D*|   (Eq. (34) folded into (35)).
     double active_sum = 0.0;
+    // lint: fp-order-ok(ascending active-index order is the bit-stability contract)
     for (uint32_t v : active) active_sum += estimate[v];
     const double shift =
         (active_sum - 1.0) / static_cast<double>(active.size());

@@ -153,8 +153,9 @@ StreamSummary RunStream(const FrequencyProtocol& protocol,
     double sum_est = 0.0;
     double sum_rec = 0.0;
     for (const WindowResult& w : summary.windows) {
+      // lint: fp-order-ok(serial loop in window order; never sharded)
       sum_est += w.mse_estimate;
-      sum_rec += w.mse_recovered;
+      sum_rec += w.mse_recovered;  // lint: fp-order-ok(same serial loop)
     }
     const double n = static_cast<double>(summary.windows.size());
     summary.mean_mse_estimate = sum_est / n;
@@ -219,6 +220,7 @@ double ApproxGenuineSuspicionRate(const FrequencyProtocol& protocol,
       double pmf = std::pow(1.0 - q, r);
       double tail = 0.0;
       for (size_t k = 0; k <= num_targets; ++k) {
+        // lint: fp-order-ok(serial pmf recurrence, ascending k is the contract)
         if (k >= threshold) tail += pmf;
         if (k < num_targets) {
           pmf *= (r - static_cast<double>(k)) /

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -27,6 +29,39 @@ TEST_F(LoaderTest, BuildsHistogramInFirstAppearanceOrder) {
   EXPECT_EQ(loaded->item_labels[0], "E01");
   EXPECT_EQ(loaded->dataset.item_counts[0], 3u);  // E01
   EXPECT_EQ(loaded->dataset.item_counts[1], 1u);  // E02
+}
+
+// Regression guard for the R2 determinism audit in loader.cc: the
+// internal unordered_map is keyed-access only, so label -> id
+// assignment must be pure first-appearance row order — never hash
+// order.  Uses enough distinct labels that any accidental dependence
+// on unordered_map element order would scramble the sequence, and
+// labels chosen so first-appearance order differs from sorted order.
+TEST_F(LoaderTest, HashOrderNeverReachesOutput) {
+  std::string csv = "unit\n";
+  std::vector<std::string> first_appearance;
+  for (int i = 0; i < 64; ++i) {
+    // z47, y46, ... — reverse-sorted prefixes, so lexicographic order,
+    // insertion order, and typical hash order all disagree.
+    std::string label;
+    label += static_cast<char>('z' - (i % 26));
+    label += std::to_string(i);
+    first_appearance.push_back(label);
+    csv += label + "\n";
+    csv += label + "\n";  // count 2 each
+  }
+  // Revisit every label once more in reverse: counts become 3, and the
+  // revisit must not disturb the already-assigned ids.
+  for (int i = 63; i >= 0; --i) csv += first_appearance[i] + "\n";
+  Write(csv);
+
+  const auto loaded = LoadItemCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->item_labels.size(), first_appearance.size());
+  for (size_t i = 0; i < first_appearance.size(); ++i) {
+    EXPECT_EQ(loaded->item_labels[i], first_appearance[i]) << "id " << i;
+    EXPECT_EQ(loaded->dataset.item_counts[i], 3u) << "id " << i;
+  }
 }
 
 TEST_F(LoaderTest, SelectsColumn) {
