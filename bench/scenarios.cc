@@ -22,6 +22,8 @@ void RegisterAllScenarios() {
     RegisterStreamingWave(registry);
     RegisterStreamingRamp(registry);
     RegisterStreamingDrift(registry);
+    RegisterShardFaultLoss(registry);
+    RegisterShardFaultMixed(registry);
     return true;
   }();
   (void)registered;

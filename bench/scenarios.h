@@ -31,6 +31,8 @@ void RegisterStreamingEquiv(ScenarioRegistry& registry);
 void RegisterStreamingWave(ScenarioRegistry& registry);
 void RegisterStreamingRamp(ScenarioRegistry& registry);
 void RegisterStreamingDrift(ScenarioRegistry& registry);
+void RegisterShardFaultLoss(ScenarioRegistry& registry);
+void RegisterShardFaultMixed(ScenarioRegistry& registry);
 
 /// Registers every paper figure/table scenario into the global
 /// registry, in the order `ldpr_bench --list` reports them.  Safe to

@@ -163,8 +163,7 @@ std::vector<double> ShardedSupportCounts(
     const std::function<std::vector<double>(uint64_t, uint64_t, Rng&)>&
         per_chunk) {
   const uint64_t per_shard = kUsersPerAggregationShard;
-  const size_t num_chunks =
-      n == 0 ? 1 : static_cast<size_t>((n + per_shard - 1) / per_shard);
+  const size_t num_chunks = static_cast<size_t>(UserChunkCount(n));
 
   std::vector<std::vector<double>> partials(num_chunks);
   ParallelFor(shards, num_chunks, [&](size_t chunk) {
@@ -198,6 +197,23 @@ std::vector<double> FrequencyProtocol::SampleSupportCountsSharded(
       });
 }
 
+std::vector<double> FrequencyProtocol::SampleSupportCountsChunk(
+    const std::vector<uint64_t>& item_counts, uint64_t seed, uint64_t chunk,
+    uint64_t users_per_chunk) const {
+  LDPR_CHECK(item_counts.size() == d_);
+  LDPR_CHECK(users_per_chunk > 0);
+  uint64_t n = 0;
+  for (uint64_t c : item_counts) n += c;
+  LDPR_CHECK(chunk < UserChunkCount(n, users_per_chunk));
+  // Mirrors ShardedSupportCounts' per-chunk setup exactly: the chunk
+  // RNG is keyed by (seed, chunk index), never by the worker running
+  // it.
+  Rng rng(DeriveSeed(seed, chunk));
+  const uint64_t begin = chunk * users_per_chunk;
+  const uint64_t end = std::min(n, begin + users_per_chunk);
+  return SampleSupportCountsRange(item_counts, begin, end, rng);
+}
+
 void BatchingAccumulator::Add(const Report& report) {
   buffer_.Append(report);
   if (buffer_.size() >= kBatchFlushReports) Flush();
@@ -228,7 +244,7 @@ void Aggregator::AddAll(const std::vector<Report>& reports) {
 
 void Aggregator::AddAllSharded(const ReportBatch& batch, size_t shards) {
   const size_t per_chunk = kReportsPerAggregationShard;
-  const size_t num_chunks = (batch.size() + per_chunk - 1) / per_chunk;
+  const size_t num_chunks = static_cast<size_t>(ReportChunkCount(batch.size()));
   if (num_chunks <= 1) {
     AddAll(batch);
     return;
@@ -250,7 +266,8 @@ void Aggregator::AddAllSharded(const ReportBatch& batch, size_t shards) {
 void Aggregator::AddAllSharded(const std::vector<Report>& reports,
                                size_t shards) {
   const size_t per_chunk = kReportsPerAggregationShard;
-  const size_t num_chunks = (reports.size() + per_chunk - 1) / per_chunk;
+  const size_t num_chunks =
+      static_cast<size_t>(ReportChunkCount(reports.size()));
   if (num_chunks <= 1) {
     AddAll(reports);
     return;

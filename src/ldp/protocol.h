@@ -92,6 +92,25 @@ std::vector<uint64_t> RestrictItemCountsToUsers(
     const std::vector<uint64_t>& item_counts, uint64_t user_begin,
     uint64_t user_end);
 
+/// Canonical user-chunk decomposition of an n-user population: chunk
+/// c covers users [c*users_per_chunk, min(n, (c+1)*users_per_chunk)).
+/// An empty population still forms one (empty) chunk, matching
+/// ShardedSupportCounts.  Exported so out-of-process shard workers
+/// (src/shard/) agree with the in-process path on the decomposition.
+inline uint64_t UserChunkCount(
+    uint64_t n, uint64_t users_per_chunk = kUsersPerAggregationShard) {
+  return n == 0 ? 1 : (n + users_per_chunk - 1) / users_per_chunk;
+}
+
+/// Canonical report-chunk decomposition of an m-report batch: chunk c
+/// covers reports [c*reports_per_chunk, min(m, (c+1)*
+/// reports_per_chunk)).  An empty batch has zero chunks, matching
+/// Aggregator::AddAllSharded's no-op on empty input.
+inline uint64_t ReportChunkCount(
+    uint64_t m, uint64_t reports_per_chunk = kReportsPerAggregationShard) {
+  return (m + reports_per_chunk - 1) / reports_per_chunk;
+}
+
 /// The shared scaffolding of every sharded-over-users aggregation
 /// path: cuts an n-user population into kUsersPerAggregationShard-
 /// sized chunks, runs per_chunk(user_begin, user_end, rng) for chunk
@@ -247,6 +266,17 @@ class FrequencyProtocol {
   std::vector<double> SampleSupportCountsSharded(
       const std::vector<uint64_t>& item_counts, uint64_t seed,
       size_t shards) const;
+
+  /// The per-chunk unit of SampleSupportCountsSharded, exported so an
+  /// out-of-process shard worker (src/shard/) can compute exactly the
+  /// partial the in-process path would: support counts of canonical
+  /// user chunk `chunk` (see UserChunkCount) sampled on
+  /// Rng(DeriveSeed(seed, chunk)).  Summing the chunks in ascending
+  /// order reproduces SampleSupportCountsSharded byte for byte at the
+  /// default chunk size (integer-valued partials sum exactly).
+  std::vector<double> SampleSupportCountsChunk(
+      const std::vector<uint64_t>& item_counts, uint64_t seed, uint64_t chunk,
+      uint64_t users_per_chunk = kUsersPerAggregationShard) const;
 
   /// Crafts a report in the *encoded* domain that deterministically
   /// supports `item` — the building block of poisoning attacks, which

@@ -24,9 +24,10 @@
 //       across shard counts changes bits unless the sums are exact.
 //   R4  test registration: the CMakeLists tests/*_test.cc glob is
 //       present, every test the sanitizer CI jobs build is also run
-//       (and vice versa), every such test exists on disk, and every
-//       test linking the scenario registrations appears in both the
-//       ASan and TSan matrices.
+//       (and vice versa), every such test exists on disk, every test
+//       linking the scenario registrations appears in both the ASan
+//       and TSan matrices, and every tools/*.cc main has a CMake
+//       target plus a CI smoke invocation.
 //   R5  public headers in src/ carry the canonical include guard
 //       (LDPR_<PATH>_H_) — the static complement of the generated
 //       one-TU-per-header self-containment build check.

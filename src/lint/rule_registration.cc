@@ -1,6 +1,6 @@
 // R4 — test registration and sanitizer-matrix consistency.
 //
-// The suite only protects what it runs.  This rule cross-checks three
+// The suite only protects what it runs.  This rule cross-checks four
 // sources of truth that historically drift apart by hand-editing:
 //   - CMakeLists.txt must register every tests/*_test.cc (the repo
 //     does this with one glob; if the glob disappears, every test
@@ -11,7 +11,10 @@
 //   - every test CMakeLists links against the scenario registrations
 //     (ldpr_scenarios) must appear in BOTH sanitizer matrices — the
 //     registration files are exactly where new scenario code lands,
-//     so they must be sanitized from day one.
+//     so they must be sanitized from day one;
+//   - every tools/*.cc main must have a CMake target (a source
+//     mention) and at least one CI smoke invocation (`/<tool> ...`) —
+//     an unbuilt tool bit-rots, an uninvoked one regresses silently.
 //
 // This is a repo-level rule: it reads CMakeLists.txt and the CI
 // workflow out of the scanned tree (raw lines — they are not C++),
@@ -126,6 +129,29 @@ void CheckTestRegistration(const LintTree& tree, std::vector<Finding>* out) {
     }
   }
 
+  // (b) every tools/*.cc main has a build target: its source file
+  // must be named somewhere in CMakeLists.txt (add_executable).
+  std::vector<std::string> tool_stems;
+  for (const SourceFile& file : tree.files) {
+    if (file.path.compare(0, 6, "tools/") == 0 && EndsWith(file.path, ".cc")) {
+      tool_stems.push_back(file.path.substr(6, file.path.size() - 6 - 3));
+    }
+  }
+  for (const std::string& tool : tool_stems) {
+    bool mentioned = false;
+    for (const std::string& line : cmake->raw_lines) {
+      if (line.find("tools/" + tool + ".cc") != std::string::npos) {
+        mentioned = true;
+      }
+    }
+    if (!mentioned) {
+      out->push_back(Finding{
+          "CMakeLists.txt", 1, "R4",
+          "tools/" + tool + ".cc has no CMake target: add_executable must "
+          "name the source file"});
+    }
+  }
+
   // Tests linked against the scenario registrations.
   std::vector<std::string> scenario_linked;
   for (const std::string& line : cmake->raw_lines) {
@@ -175,6 +201,31 @@ void CheckTestRegistration(const LintTree& tree, std::vector<Finding>* out) {
                 job_name + " matrix — new scenario code must be sanitized "
                 "from day one"});
       }
+    }
+  }
+
+  // (c) every tool is smoke-invoked somewhere in CI: a `/<tool>`
+  // occurrence followed by a non-identifier character (so ldpr does
+  // not match ldpr_bench's path).
+  for (const std::string& tool : tool_stems) {
+    const std::string needle = "/" + tool;
+    bool invoked = false;
+    for (const std::string& line : workflow->raw_lines) {
+      for (size_t at = line.find(needle); at != std::string::npos;
+           at = line.find(needle, at + 1)) {
+        const size_t after = at + needle.size();
+        if (after >= line.size() || !IsIdentChar(line[after])) {
+          invoked = true;
+          break;
+        }
+      }
+      if (invoked) break;
+    }
+    if (!invoked) {
+      out->push_back(Finding{
+          workflow->path, 1, "R4",
+          "tools/" + tool + ".cc is never invoked by CI: add a smoke step "
+          "running the built binary"});
     }
   }
 }

@@ -1,0 +1,119 @@
+#include "shard/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ldpr {
+namespace {
+
+// Shuffled worker order drawn on its own derived stream.
+std::vector<uint64_t> ShuffledWorkers(uint64_t num_workers, uint64_t seed,
+                                      uint64_t stream) {
+  std::vector<uint64_t> order(num_workers);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(DeriveSeed(seed, stream));
+  for (uint64_t i = num_workers; i > 1; --i)
+    std::swap(order[i - 1], order[rng.Next() % i]);
+  return order;
+}
+
+uint64_t PickCount(double fraction, uint64_t num_workers) {
+  LDPR_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  return static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(num_workers)));
+}
+
+// Damages one wire line so the merger's checksum must catch it: flips
+// the low bit of the byte in the middle of the payload region.
+void FlipPayloadBit(std::string& line) {
+  constexpr size_t kPrefixLen = sizeof("{\"payload\":") - 1;
+  if (line.size() <= kPrefixLen + 2) return;
+  const size_t payload_len = line.size() - kPrefixLen;
+  line[kPrefixLen + payload_len / 2] ^= 0x01;
+}
+
+}  // namespace
+
+FaultPlan MakeFaultPlan(const FaultSpec& spec, uint64_t num_workers) {
+  FaultPlan plan;
+  plan.fates.assign(num_workers, WorkerFate::kHealthy);
+  plan.duplicated.assign(num_workers, false);
+  plan.torn.assign(num_workers, false);
+  plan.bitflipped.assign(num_workers, false);
+  if (num_workers == 0) return plan;
+
+  // Kill/straggler assignments come off one shuffled order so they
+  // never collide; both fates drop the worker's delivery.
+  uint64_t num_killed = PickCount(spec.kill_fraction, num_workers);
+  uint64_t num_stragglers = PickCount(spec.straggler_fraction, num_workers);
+  num_killed = std::min(num_killed, num_workers);
+  num_stragglers = std::min(num_stragglers, num_workers - num_killed);
+  const std::vector<uint64_t> fate_order =
+      ShuffledWorkers(num_workers, spec.seed, 1);
+  for (uint64_t i = 0; i < num_killed; ++i)
+    plan.fates[fate_order[i]] = WorkerFate::kKilled;
+  for (uint64_t i = 0; i < num_stragglers; ++i)
+    plan.fates[fate_order[num_killed + i]] = WorkerFate::kStraggler;
+
+  // Line-level faults pick disjoint workers among the survivors (a
+  // second shuffled order, skipping dropped workers), so every
+  // injected fault stays observable on its own delivered line.
+  std::vector<uint64_t> survivors;
+  for (uint64_t w : ShuffledWorkers(num_workers, spec.seed, 2)) {
+    if (plan.fates[w] == WorkerFate::kHealthy) survivors.push_back(w);
+  }
+  uint64_t num_duplicated = std::min<uint64_t>(
+      PickCount(spec.duplicate_fraction, num_workers), survivors.size());
+  uint64_t num_torn =
+      std::min<uint64_t>(PickCount(spec.torn_fraction, num_workers),
+                         survivors.size() - num_duplicated);
+  uint64_t num_flipped = std::min<uint64_t>(
+      PickCount(spec.bitflip_fraction, num_workers),
+      survivors.size() - num_duplicated - num_torn);
+  size_t next = 0;
+  for (uint64_t i = 0; i < num_duplicated; ++i)
+    plan.duplicated[survivors[next++]] = true;
+  for (uint64_t i = 0; i < num_torn; ++i) plan.torn[survivors[next++]] = true;
+  for (uint64_t i = 0; i < num_flipped; ++i)
+    plan.bitflipped[survivors[next++]] = true;
+  return plan;
+}
+
+FaultyDelivery ApplyFaultPlan(
+    const FaultPlan& plan,
+    const std::vector<std::vector<std::string>>& worker_lines) {
+  LDPR_CHECK(plan.fates.size() == worker_lines.size());
+  FaultyDelivery delivery;
+  for (size_t w = 0; w < worker_lines.size(); ++w) {
+    const std::vector<std::string>& lines = worker_lines[w];
+    if (plan.fates[w] == WorkerFate::kKilled) {
+      if (!lines.empty()) ++delivery.workers_killed;
+      continue;
+    }
+    if (plan.fates[w] == WorkerFate::kStraggler) {
+      if (!lines.empty()) ++delivery.workers_straggling;
+      continue;
+    }
+    std::vector<std::string> delivered = lines;
+    if (plan.torn[w] && !delivered.empty()) {
+      delivered.front().resize(delivered.front().size() / 2);
+      ++delivery.lines_torn;
+    } else if (plan.bitflipped[w] && !delivered.empty()) {
+      FlipPayloadBit(delivered.front());
+      ++delivery.lines_flipped;
+    }
+    for (const std::string& line : delivered) delivery.lines.push_back(line);
+    if (plan.duplicated[w] && !delivered.empty()) {
+      for (const std::string& line : delivered)
+        delivery.lines.push_back(line);
+      delivery.lines_duplicated += delivered.size();
+    }
+  }
+  return delivery;
+}
+
+}  // namespace ldpr

@@ -29,6 +29,16 @@ const char* AttackKindName(AttackKind kind) {
   return "unknown";
 }
 
+StatusOr<AttackKind> ParseAttackKind(const std::string& name) {
+  if (name == "none") return AttackKind::kNone;
+  if (name == "Manip" || name == "manip") return AttackKind::kManip;
+  if (name == "MGA" || name == "mga") return AttackKind::kMga;
+  if (name == "AA" || name == "aa") return AttackKind::kAdaptive;
+  if (name == "MGA-IPA" || name == "mga-ipa") return AttackKind::kMgaIpa;
+  if (name == "MUL-AA" || name == "mul-aa") return AttackKind::kMultiAdaptive;
+  return InvalidArgumentError("unknown attack: " + name);
+}
+
 size_t MaliciousUserCount(double beta, uint64_t n) {
   LDPR_CHECK(beta >= 0.0 && beta < 1.0);
   return static_cast<size_t>(

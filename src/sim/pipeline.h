@@ -9,12 +9,14 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attack/attack.h"
 #include "data/dataset.h"
 #include "ldp/protocol.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace ldpr {
 
@@ -29,6 +31,11 @@ enum class AttackKind {
 };
 
 const char* AttackKindName(AttackKind kind);
+
+/// Inverse of AttackKindName, plus the lowercase aliases the CLI has
+/// always accepted ("mga", "aa", ...).  The one parser shared by the
+/// subcommand CLI (src/cli/) and the shard wire format (src/shard/).
+StatusOr<AttackKind> ParseAttackKind(const std::string& name);
 
 struct PipelineConfig {
   AttackKind attack = AttackKind::kAdaptive;

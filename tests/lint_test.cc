@@ -282,6 +282,53 @@ TEST(RuleRegistrationTest, FlagsNonexistentTestAndMissingScenarioTest) {
   EXPECT_TRUE(nonexistent);
 }
 
+TEST(RuleRegistrationTest, ToolsNeedCMakeTargetAndCiInvocation) {
+  // Clean: the tool source is named in CMake and `./build/mytool` (a
+  // `/mytool` hit with a non-identifier follower) appears in CI.
+  const std::string cmake =
+      std::string(kCMakeWithGlob) + "add_executable(mytool tools/mytool.cc)\n";
+  const LintTree clean = TreeOf({
+      {"tests/grr_test.cc", "int main() {}\n"},
+      {"tools/mytool.cc", "int main() {}\n"},
+      {"CMakeLists.txt", cmake},
+      {".github/workflows/ci.yml",
+       CiYaml("grr_test", "grr_test", "grr_test", "grr_test") +
+           "      - run: ./build/mytool --help\n"},
+  });
+  EXPECT_TRUE(Lint(clean).empty());
+
+  // No CMake mention of the source file.
+  const LintTree no_cmake = TreeOf({
+      {"tests/grr_test.cc", "int main() {}\n"},
+      {"tools/mytool.cc", "int main() {}\n"},
+      {"CMakeLists.txt", kCMakeWithGlob},
+      {".github/workflows/ci.yml",
+       CiYaml("grr_test", "grr_test", "grr_test", "grr_test") +
+           "      - run: ./build/mytool --help\n"},
+  });
+  const auto cmake_findings = Lint(no_cmake);
+  ASSERT_EQ(cmake_findings.size(), 1u);
+  EXPECT_EQ(cmake_findings[0].rule, "R4");
+  EXPECT_NE(cmake_findings[0].message.find("no CMake target"),
+            std::string::npos);
+
+  // No CI invocation — and a prefix hit (`/mytool_extra`) must not
+  // count as one, since the follower is an identifier character.
+  const LintTree no_ci = TreeOf({
+      {"tests/grr_test.cc", "int main() {}\n"},
+      {"tools/mytool.cc", "int main() {}\n"},
+      {"CMakeLists.txt", cmake},
+      {".github/workflows/ci.yml",
+       CiYaml("grr_test", "grr_test", "grr_test", "grr_test") +
+           "      - run: ./build/mytool_extra --help\n"},
+  });
+  const auto ci_findings = Lint(no_ci);
+  ASSERT_EQ(ci_findings.size(), 1u);
+  EXPECT_EQ(ci_findings[0].rule, "R4");
+  EXPECT_NE(ci_findings[0].message.find("never invoked by CI"),
+            std::string::npos);
+}
+
 TEST(RuleRegistrationTest, FlagsMissingGlob) {
   const LintTree tree = TreeOf({
       {"tests/grr_test.cc", "int main() {}\n"},

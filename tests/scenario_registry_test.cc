@@ -37,7 +37,7 @@ const char* const kExpectedIds[] = {
     "fig7",   "fig8",  "fig9",     "fig10",         "ablation",
     "ext_protocols",   "scaling_n", "scaling_d",
     "streaming_equiv", "streaming_wave", "streaming_ramp",
-    "streaming_drift"};
+    "streaming_drift", "shard_fault_loss", "shard_fault_mixed"};
 
 TEST_F(ScenarioRegistryTest, EveryListedIdResolves) {
   const ScenarioRegistry& registry = ScenarioRegistry::Global();

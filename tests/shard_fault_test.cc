@@ -1,0 +1,234 @@
+// Deterministic fault-injection locks (src/shard/fault.h): plans are
+// a pure function of (spec, fleet size), fault picks are disjoint and
+// hit the requested counts, and every injected fault type produces
+// its contracted observable through the merge — kills and stragglers
+// lose exactly their chunk ranges, duplicates merge idempotently,
+// torn writes and payload bit flips are rejected by the wire layer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "shard/fault.h"
+#include "shard/merge.h"
+#include "shard/shard_task.h"
+
+namespace ldpr {
+namespace {
+
+constexpr uint64_t kWorkers = 8;
+
+size_t CountFate(const FaultPlan& plan, WorkerFate fate) {
+  size_t count = 0;
+  for (WorkerFate f : plan.fates) count += (f == fate) ? 1 : 0;
+  return count;
+}
+
+size_t CountTrue(const std::vector<bool>& flags) {
+  size_t count = 0;
+  for (bool f : flags) count += f ? 1 : 0;
+  return count;
+}
+
+TEST(FaultPlanTest, PlanIsDeterministicInSpecAndFleetSize) {
+  FaultSpec spec;
+  spec.kill_fraction = 0.25;
+  spec.straggler_fraction = 0.25;
+  spec.duplicate_fraction = 0.25;
+  spec.torn_fraction = 0.125;
+  spec.bitflip_fraction = 0.125;
+  spec.seed = 31337;
+  const FaultPlan a = MakeFaultPlan(spec, kWorkers);
+  const FaultPlan b = MakeFaultPlan(spec, kWorkers);
+  EXPECT_EQ(a.fates, b.fates);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.torn, b.torn);
+  EXPECT_EQ(a.bitflipped, b.bitflipped);
+
+  spec.seed = 31338;
+  const FaultPlan c = MakeFaultPlan(spec, kWorkers);
+  EXPECT_TRUE(c.fates != a.fates || c.duplicated != a.duplicated ||
+              c.torn != a.torn || c.bitflipped != a.bitflipped);
+}
+
+TEST(FaultPlanTest, PicksHitRequestedCountsAndStayDisjoint) {
+  FaultSpec spec;
+  spec.kill_fraction = 0.25;       // 2 of 8
+  spec.straggler_fraction = 0.25;  // 2 of 8
+  spec.duplicate_fraction = 0.25;  // 2 of the 4 survivors
+  spec.torn_fraction = 0.125;      // 1
+  spec.bitflip_fraction = 0.125;   // 1
+  spec.seed = 7;
+  const FaultPlan plan = MakeFaultPlan(spec, kWorkers);
+  EXPECT_EQ(CountFate(plan, WorkerFate::kKilled), 2u);
+  EXPECT_EQ(CountFate(plan, WorkerFate::kStraggler), 2u);
+  EXPECT_EQ(CountTrue(plan.duplicated), 2u);
+  EXPECT_EQ(CountTrue(plan.torn), 1u);
+  EXPECT_EQ(CountTrue(plan.bitflipped), 1u);
+  for (uint64_t w = 0; w < kWorkers; ++w) {
+    const int line_faults = (plan.duplicated[w] ? 1 : 0) +
+                            (plan.torn[w] ? 1 : 0) +
+                            (plan.bitflipped[w] ? 1 : 0);
+    EXPECT_LE(line_faults, 1) << "worker " << w;
+    if (plan.fates[w] != WorkerFate::kHealthy) {
+      EXPECT_EQ(line_faults, 0) << "worker " << w;
+    }
+  }
+}
+
+TEST(FaultPlanTest, OverfullFractionsClampToTheFleet) {
+  FaultSpec spec;
+  spec.kill_fraction = 1.0;
+  spec.straggler_fraction = 1.0;
+  spec.seed = 1;
+  const FaultPlan plan = MakeFaultPlan(spec, kWorkers);
+  EXPECT_EQ(CountFate(plan, WorkerFate::kKilled), kWorkers);
+  EXPECT_EQ(CountFate(plan, WorkerFate::kStraggler), 0u);
+}
+
+// End-to-end fixture: a real plan's worker lines through a fault plan
+// into the merger.
+class FaultMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = MakeZipfDataset("z", /*d=*/16, /*n=*/16000, /*s=*/1.0,
+                               /*shuffle_seed=*/13);
+    ShardTaskSpec spec;
+    spec.protocol = ProtocolKind::kOue;
+    spec.attack = AttackKind::kMga;
+    spec.beta = 0.05;
+    spec.num_targets = 4;
+    spec.seed = 2024;
+    spec.chunking.users_per_chunk = 1000;   // 16 genuine chunks
+    spec.chunking.reports_per_chunk = 100;  // ~9 malicious chunks
+    auto plan = BuildShardTaskPlan(spec, dataset_);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = std::move(*plan);
+    worker_lines_.resize(kWorkers);
+    for (uint64_t w = 0; w < kWorkers; ++w) {
+      for (const PartialRecord& rec : ComputeWorkerPartials(plan_, w, kWorkers))
+        worker_lines_[w].push_back(EncodePartialLine(rec));
+    }
+    const auto clean = RunShardTaskInProcess(plan_, kWorkers);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    clean_ = std::move(*clean);
+  }
+
+  StatusOr<MergedPartials> MergeFaulty(const FaultSpec& fault,
+                                       FaultyDelivery* delivery_out = nullptr) {
+    const FaultPlan fault_plan = MakeFaultPlan(fault, kWorkers);
+    FaultyDelivery delivery = ApplyFaultPlan(fault_plan, worker_lines_);
+    if (delivery_out != nullptr) *delivery_out = delivery;
+    MergeOptions options;
+    options.allow_missing = true;
+    return MergeShardPartials(plan_, delivery.lines, options);
+  }
+
+  Dataset dataset_;
+  ShardTaskPlan plan_;
+  std::vector<std::vector<std::string>> worker_lines_;
+  MergedPartials clean_;
+};
+
+TEST_F(FaultMergeTest, NoFaultsMeansTheCleanMerge) {
+  FaultSpec fault;
+  fault.seed = 5;
+  FaultyDelivery delivery;
+  const auto merged = MergeFaulty(fault, &delivery);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(delivery.workers_killed, 0u);
+  EXPECT_EQ(delivery.lines_torn, 0u);
+  EXPECT_EQ(merged->genuine_counts, clean_.genuine_counts);
+  EXPECT_EQ(merged->malicious_counts, clean_.malicious_counts);
+}
+
+TEST_F(FaultMergeTest, KilledWorkersLoseExactlyTheirChunks) {
+  FaultSpec fault;
+  fault.kill_fraction = 0.25;
+  fault.seed = 5;
+  FaultyDelivery delivery;
+  const auto merged = MergeFaulty(fault, &delivery);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(delivery.workers_killed, 2u);
+  // 8 workers over 25 chunks: each owns ~3, so 2 kills lose ~6.
+  const uint64_t lost = merged->stats.genuine_chunks_lost +
+                        merged->stats.malicious_chunks_lost;
+  EXPECT_GE(lost, 4u);
+  EXPECT_LE(lost, 8u);
+  EXPECT_LT(merged->stats.users_covered + merged->stats.reports_covered,
+            plan_.n + plan_.m);
+}
+
+TEST_F(FaultMergeTest, StragglersAreDroppedAndTalliedSeparately) {
+  FaultSpec fault;
+  fault.straggler_fraction = 0.25;
+  fault.seed = 6;
+  FaultyDelivery delivery;
+  const auto merged = MergeFaulty(fault, &delivery);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(delivery.workers_straggling, 2u);
+  EXPECT_EQ(delivery.workers_killed, 0u);
+  EXPECT_GT(merged->stats.genuine_chunks_lost +
+                merged->stats.malicious_chunks_lost,
+            0u);
+}
+
+TEST_F(FaultMergeTest, DuplicateDeliveryMergesToTheCleanCounts) {
+  FaultSpec fault;
+  fault.duplicate_fraction = 0.5;
+  fault.seed = 7;
+  FaultyDelivery delivery;
+  const auto merged = MergeFaulty(fault, &delivery);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_GT(delivery.lines_duplicated, 0u);
+  EXPECT_EQ(merged->stats.duplicates_dropped, delivery.lines_duplicated);
+  EXPECT_EQ(merged->genuine_counts, clean_.genuine_counts);
+  EXPECT_EQ(merged->malicious_counts, clean_.malicious_counts);
+  EXPECT_EQ(merged->stats.users_covered, plan_.n);
+  EXPECT_EQ(merged->stats.reports_covered, plan_.m);
+}
+
+TEST_F(FaultMergeTest, TornWritesAreRejectedByTheFrameScan) {
+  FaultSpec fault;
+  fault.torn_fraction = 0.25;
+  fault.seed = 8;
+  FaultyDelivery delivery;
+  const auto merged = MergeFaulty(fault, &delivery);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(delivery.lines_torn, 2u);
+  EXPECT_EQ(merged->stats.lines_rejected, delivery.lines_torn);
+}
+
+TEST_F(FaultMergeTest, BitFlipsAreRejectedByTheChecksum) {
+  FaultSpec fault;
+  fault.bitflip_fraction = 0.25;
+  fault.seed = 9;
+  FaultyDelivery delivery;
+  const auto merged = MergeFaulty(fault, &delivery);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(delivery.lines_flipped, 2u);
+  EXPECT_EQ(merged->stats.lines_rejected, delivery.lines_flipped);
+}
+
+TEST_F(FaultMergeTest, EveryFaultAtOnceStillEstimates) {
+  FaultSpec fault;
+  fault.kill_fraction = 0.125;
+  fault.straggler_fraction = 0.125;
+  fault.duplicate_fraction = 0.25;
+  fault.torn_fraction = 0.125;
+  fault.bitflip_fraction = 0.125;
+  fault.seed = 10;
+  const auto merged = MergeFaulty(fault);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_GT(merged->stats.users_covered, 0u);
+  const ShardOutcome outcome = ComputeShardOutcome(plan_, dataset_, *merged);
+  EXPECT_EQ(outcome.poisoned_freqs.size(), dataset_.domain_size());
+  EXPECT_GE(outcome.poisoned_mse, 0.0);
+  EXPECT_GE(outcome.recovered_mse, 0.0);
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,263 @@
+// The tentpole equivalence lock: partials computed per worker,
+// serialized through the wire format, and merged in canonical chunk
+// order are byte-identical to the in-process sharded aggregation
+// paths (Aggregator::AddAllSharded for the malicious stream,
+// FrequencyProtocol::SampleSupportCountsSharded for the genuine
+// stream) — for every protocol, at every worker count, across the
+// reports-per-chunk boundary (8191/8192/8193) and the users-per-chunk
+// boundary (65535/65536/65537).  Plus the merger's validation ladder:
+// duplicate idempotence, strict-mode loss errors, allow_missing
+// coverage accounting, and cross-run spec rejection.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ldp/factory.h"
+#include "shard/merge.h"
+#include "shard/shard_task.h"
+#include "sim/pipeline.h"
+
+namespace ldpr {
+namespace {
+
+constexpr uint64_t kWorkerCounts[] = {1, 2, 8};
+
+ShardTaskSpec MakeSpec(ProtocolKind protocol, uint64_t seed) {
+  ShardTaskSpec spec;
+  spec.protocol = protocol;
+  spec.epsilon = 0.5;
+  spec.dataset = "zipf";
+  spec.attack = AttackKind::kMga;
+  spec.beta = 0.05;
+  spec.num_targets = 4;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(ShardMergeTest, MaliciousMergeMatchesAddAllShardedAtChunkBoundaries) {
+  // beta = 0.05 makes m = n/19 exactly, so n = 19*m pins the crafted
+  // batch size right at the reports-per-chunk boundary (8192).
+  for (uint64_t m_target : {8191u, 8192u, 8193u}) {
+    const Dataset dataset =
+        MakeZipfDataset("z", /*d=*/16, /*n=*/19 * m_target, /*s=*/1.0,
+                        /*shuffle_seed=*/7);
+    for (ProtocolKind kind : kExtendedProtocolKinds) {
+      auto plan = BuildShardTaskPlan(MakeSpec(kind, 77), dataset);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      ASSERT_EQ(plan->m, m_target) << ProtocolKindName(kind);
+      ASSERT_EQ(plan->malicious_chunks, (m_target + 8191) / 8192);
+
+      Aggregator reference(*plan->protocol);
+      reference.AddAllSharded(plan->malicious_reports, 1);
+      const std::vector<double> genuine_reference =
+          plan->protocol->SampleSupportCountsSharded(plan->item_counts,
+                                                     plan->genuine_seed, 1);
+
+      for (uint64_t workers : kWorkerCounts) {
+        const auto merged = RunShardTaskInProcess(*plan, workers);
+        ASSERT_TRUE(merged.ok())
+            << ProtocolKindName(kind) << ": " << merged.status().ToString();
+        EXPECT_EQ(merged->malicious_counts, reference.support_counts())
+            << ProtocolKindName(kind) << " m=" << m_target
+            << " workers=" << workers;
+        EXPECT_EQ(merged->genuine_counts, genuine_reference)
+            << ProtocolKindName(kind) << " m=" << m_target
+            << " workers=" << workers;
+        EXPECT_EQ(merged->stats.users_covered, plan->n);
+        EXPECT_EQ(merged->stats.reports_covered, plan->m);
+        EXPECT_EQ(merged->stats.lines_rejected, 0u);
+        EXPECT_EQ(merged->stats.duplicates_dropped, 0u);
+      }
+    }
+  }
+}
+
+TEST(ShardMergeTest, GenuineMergeMatchesSampleShardedAtUserChunkBoundary) {
+  for (uint64_t n : {65535u, 65536u, 65537u}) {
+    const Dataset dataset =
+        MakeZipfDataset("z", /*d=*/24, n, /*s=*/1.0, /*shuffle_seed=*/3);
+    for (ProtocolKind kind : {ProtocolKind::kGrr, ProtocolKind::kOlh}) {
+      ShardTaskSpec spec = MakeSpec(kind, 55);
+      spec.attack = AttackKind::kNone;
+      auto plan = BuildShardTaskPlan(spec, dataset);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      ASSERT_EQ(plan->genuine_chunks, (n + 65535) / 65536);
+      ASSERT_EQ(plan->malicious_chunks, 0u);
+
+      const std::vector<double> reference =
+          plan->protocol->SampleSupportCountsSharded(plan->item_counts,
+                                                     plan->genuine_seed, 1);
+      for (uint64_t workers : kWorkerCounts) {
+        const auto merged = RunShardTaskInProcess(*plan, workers);
+        ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+        EXPECT_EQ(merged->genuine_counts, reference)
+            << ProtocolKindName(kind) << " n=" << n << " workers=" << workers;
+        EXPECT_EQ(merged->stats.users_covered, n);
+      }
+    }
+  }
+}
+
+TEST(ShardMergeTest, MergedCountsReproduceThePoisoningTrialEstimate) {
+  // Full-trial lock: the merged multi-process counts turn into
+  // exactly the frequency estimate RunPoisoningTrial computes from
+  // the same seed — the shard pipeline is the trial, distributed.
+  const Dataset dataset =
+      MakeZipfDataset("z", /*d=*/32, /*n=*/50000, /*s=*/1.0,
+                      /*shuffle_seed=*/5);
+  for (ProtocolKind kind : kExtendedProtocolKinds) {
+    const ShardTaskSpec spec = MakeSpec(kind, 123);
+    auto plan = BuildShardTaskPlan(spec, dataset);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    PipelineConfig config;
+    config.attack = spec.attack;
+    config.beta = spec.beta;
+    config.num_targets = spec.num_targets;
+    Rng rng(spec.seed);
+    const TrialOutput trial =
+        RunPoisoningTrial(*plan->protocol, config, dataset, rng);
+    ASSERT_EQ(trial.m, plan->m) << ProtocolKindName(kind);
+
+    const auto merged = RunShardTaskInProcess(*plan, 8);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    const ShardOutcome outcome = ComputeShardOutcome(*plan, dataset, *merged);
+    EXPECT_EQ(outcome.n_eff, trial.n) << ProtocolKindName(kind);
+    EXPECT_EQ(outcome.m_eff, trial.m) << ProtocolKindName(kind);
+    EXPECT_EQ(outcome.poisoned_freqs, trial.poisoned_freqs)
+        << ProtocolKindName(kind);
+  }
+}
+
+TEST(ShardMergeTest, MaliciousCountsInvariantUnderChunkingChanges) {
+  // Regrouping the crafted batch is an exact integer-sum reshuffle,
+  // so any reports_per_chunk yields the same malicious counts.  (The
+  // genuine stream has no such invariance: its per-chunk RNG streams
+  // are keyed by chunk index, so chunking is part of that spec.)
+  const Dataset dataset =
+      MakeZipfDataset("z", /*d=*/16, /*n=*/20000, /*s=*/1.0,
+                      /*shuffle_seed=*/9);
+  const auto reference_plan =
+      BuildShardTaskPlan(MakeSpec(ProtocolKind::kOue, 99), dataset);
+  ASSERT_TRUE(reference_plan.ok());
+  const auto reference = RunShardTaskInProcess(*reference_plan, 2);
+  ASSERT_TRUE(reference.ok());
+
+  for (uint64_t rpc : {1u, 100u, 1000u}) {
+    ShardTaskSpec spec = MakeSpec(ProtocolKind::kOue, 99);
+    spec.chunking.reports_per_chunk = rpc;
+    auto plan = BuildShardTaskPlan(spec, dataset);
+    ASSERT_TRUE(plan.ok());
+    for (uint64_t workers : kWorkerCounts) {
+      const auto merged = RunShardTaskInProcess(*plan, workers);
+      ASSERT_TRUE(merged.ok()) << "rpc=" << rpc;
+      EXPECT_EQ(merged->malicious_counts, reference->malicious_counts)
+          << "rpc=" << rpc << " workers=" << workers;
+      EXPECT_EQ(merged->genuine_counts, reference->genuine_counts);
+    }
+  }
+}
+
+// ------------------------------------------------- validation ladder
+
+class ShardMergeLadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = MakeZipfDataset("z", /*d=*/16, /*n=*/20000, /*s=*/1.0,
+                               /*shuffle_seed=*/11);
+    ShardTaskSpec spec = MakeSpec(ProtocolKind::kGrr, 42);
+    // Shrink chunks so 20k users split across several workers.
+    spec.chunking.users_per_chunk = 2000;
+    spec.chunking.reports_per_chunk = 200;
+    auto plan = BuildShardTaskPlan(spec, dataset_);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = std::move(*plan);
+    for (uint64_t w = 0; w < 4; ++w) {
+      for (const PartialRecord& rec : ComputeWorkerPartials(plan_, w, 4))
+        lines_.push_back(EncodePartialLine(rec));
+    }
+    ASSERT_GE(lines_.size(), 4u);
+  }
+
+  Dataset dataset_;
+  ShardTaskPlan plan_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(ShardMergeLadderTest, DuplicateDeliveryIsIdempotent) {
+  const auto clean = MergeShardPartials(plan_, lines_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  std::vector<std::string> twice = lines_;
+  twice.push_back(lines_.front());
+  twice.push_back(lines_.back());
+  const auto merged = MergeShardPartials(plan_, twice);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->genuine_counts, clean->genuine_counts);
+  EXPECT_EQ(merged->malicious_counts, clean->malicious_counts);
+  EXPECT_EQ(merged->stats.duplicates_dropped, 2u);
+  EXPECT_EQ(merged->stats.users_covered, clean->stats.users_covered);
+}
+
+TEST_F(ShardMergeLadderTest, ConflictingDuplicateIsAHardError) {
+  // Same range, different counts: not a re-delivery but corruption
+  // that passed the checksum — refuse even in allow_missing mode.
+  auto decoded = DecodePartialLine(lines_.front());
+  ASSERT_TRUE(decoded.ok());
+  decoded->counts[0] += 1.0;
+  std::vector<std::string> conflicted = lines_;
+  conflicted.push_back(EncodePartialLine(*decoded));
+  MergeOptions lenient;
+  lenient.allow_missing = true;
+  EXPECT_FALSE(MergeShardPartials(plan_, conflicted, lenient).ok());
+}
+
+TEST_F(ShardMergeLadderTest, MissingWorkerIsStrictErrorButLenientCoverage) {
+  // Drop the first worker's lines (its genuine chunk range).
+  std::vector<std::string> partial(lines_.begin() + 1, lines_.end());
+  EXPECT_FALSE(MergeShardPartials(plan_, partial).ok());
+
+  MergeOptions lenient;
+  lenient.allow_missing = true;
+  const auto merged = MergeShardPartials(plan_, partial, lenient);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_GT(merged->stats.genuine_chunks_lost, 0u);
+  EXPECT_LT(merged->stats.users_covered, plan_.n);
+  EXPECT_GT(merged->stats.users_covered, 0u);
+}
+
+TEST_F(ShardMergeLadderTest, ForeignSpecIsAHardError) {
+  auto decoded = DecodePartialLine(lines_.front());
+  ASSERT_TRUE(decoded.ok());
+  decoded->spec.seed ^= 1;  // a partial from some other run
+  std::vector<std::string> mixed = lines_;
+  mixed.front() = EncodePartialLine(*decoded);
+  MergeOptions lenient;
+  lenient.allow_missing = true;
+  EXPECT_FALSE(MergeShardPartials(plan_, mixed, lenient).ok());
+}
+
+TEST_F(ShardMergeLadderTest, TornLineIsRejectionNotSilentLoss) {
+  std::vector<std::string> torn = lines_;
+  torn.front().resize(torn.front().size() / 2);
+  EXPECT_FALSE(MergeShardPartials(plan_, torn).ok());  // strict
+
+  MergeOptions lenient;
+  lenient.allow_missing = true;
+  const auto merged = MergeShardPartials(plan_, torn, lenient);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->stats.lines_rejected, 1u);
+}
+
+TEST_F(ShardMergeLadderTest, NothingSurvivingIsAlwaysAnError) {
+  MergeOptions lenient;
+  lenient.allow_missing = true;
+  EXPECT_FALSE(MergeShardPartials(plan_, {}, lenient).ok());
+}
+
+}  // namespace
+}  // namespace ldpr

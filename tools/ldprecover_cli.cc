@@ -1,375 +1,35 @@
-// ldprecover_cli: run the full poisoning + recovery pipeline from the
-// command line.
+// ldprecover_cli: DEPRECATED compatibility shim over the `ldpr`
+// subcommand CLI (src/cli/cli.h).
 //
-// Examples:
-//   # Paper defaults against MGA on the IPUMS stand-in:
-//   ldprecover_cli --protocol=OUE --attack=MGA --dataset=ipums
-//
-//   # A custom Zipf population from CSV-free synthetic data:
-//   ldprecover_cli --protocol=GRR --attack=AA --dataset=zipf
-//       --d=64 --n=100000 --zipf_s=1.1 --beta=0.1 --trials=10
-//
-//   # Your own data (one item per row, first column, header skipped):
-//   ldprecover_cli --protocol=OLH --attack=MGA --csv=items.csv
-//
-// Flags (defaults in brackets): --protocol [GRR], --attack [AA]
-// (none|Manip|MGA|AA|MGA-IPA|MUL-AA), --dataset [ipums]
-// (ipums|fire|zipf|uniform), --csv FILE, --d [102], --n [100000],
-// --zipf_s [1.0], --epsilon [0.5], --beta [0.05], --eta [0.2],
-// --targets [10], --trials [5], --seed [1], --scale [1.0],
-// --top_k [10], --threads [0 = auto: LDPR_THREADS or hardware
-// concurrency; 1 = serial], --out FILE (machine-readable results via
-// the runner ResultSink: CSV, or JSONL when FILE ends in .jsonl; the
-// run fails on partial writes).  Results are bit-identical at any
-// --threads value.
-//
-// Streaming mode (--stream): replay the dataset as a time-ordered
-// arrival stream through the windowed streaming engine
-// (src/stream/) and print one row per closed window instead of the
-// batch pipeline.  Extra knobs: --window [n/10 reports],
-// --stride [0 = tumbling], --wave [constant]
-// (none|constant|wave|ramp; `wave` switches the MGA cohort on over
-// the middle [0.3n, 0.7n) of the stream), with --beta as the
-// (peak) attacker fraction and --targets as the MGA target count.
-//
-//   # A mid-stream MGA wave over sliding windows:
-//   ldprecover_cli --stream --protocol=OUE --dataset=zipf
-//       --wave=wave --beta=0.25 --window=10000 --stride=5000
+// The legacy interface selected its mode with a flag (--stream); the
+// subcommand CLI selects it with a word (`ldpr stream` / `ldpr run`).
+// This shim keeps old invocations working unchanged — same flags,
+// same output, same exit codes — by prepending the right subcommand
+// and forwarding everything else verbatim.  New scripts should call
+// `ldpr` directly.
 
-#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "data/loader.h"
-#include "data/synthetic.h"
-#include "ldp/factory.h"
-#include "recover/ldprecover.h"
-#include "recover/outlier.h"
-#include "runner/result_sink.h"
-#include "sim/experiment.h"
-#include "stream/streaming_engine.h"
-#include "tasks/heavy_hitters.h"
-#include "util/flags.h"
+#include "cli/cli.h"
 
-namespace ldpr {
-namespace {
-
-StatusOr<WaveShape> ParseWaveShape(const std::string& name) {
-  if (name == "none") return WaveShape::kNone;
-  if (name == "constant") return WaveShape::kConstant;
-  if (name == "wave") return WaveShape::kWave;
-  if (name == "ramp") return WaveShape::kRamp;
-  return InvalidArgumentError("unknown wave shape: " + name);
+int main(int argc, char** argv) {
+  std::fprintf(stderr,
+               "warning: ldprecover_cli is deprecated; use `ldpr run` or "
+               "`ldpr stream` (same flags)\n");
+  bool stream = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stream" || arg == "--stream=true" || arg == "--stream=1")
+      stream = true;
+  }
+  static char run_word[] = "run";
+  static char stream_word[] = "stream";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(stream ? stream_word : run_word);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  return ldpr::cli::Main(static_cast<int>(args.size()), args.data());
 }
-
-// --stream mode: replay the dataset as an arrival stream and print
-// one row per closed window.
-int RunStreamMode(const FlagParser& flags, ProtocolKind kind,
-                  const Dataset& dataset, double epsilon, double beta,
-                  double eta, size_t num_targets, uint64_t seed,
-                  ResultSink& sink) {
-  const auto window = flags.GetInt("window", 0);
-  const auto stride = flags.GetInt("stride", 0);
-  const auto wave_or = ParseWaveShape(flags.GetString("wave", "constant"));
-  for (const Status& status :
-       {window.ok() ? Status::Ok() : window.status(),
-        stride.ok() ? Status::Ok() : stride.status(),
-        wave_or.ok() ? Status::Ok() : wave_or.status()}) {
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-  }
-
-  StreamSpec spec;
-  spec.total_reports = dataset.num_users();
-  spec.window_reports = *window > 0
-                            ? static_cast<size_t>(*window)
-                            : std::max<size_t>(1, spec.total_reports / 10);
-  spec.stride_reports = *stride > 0 ? static_cast<size_t>(*stride) : 0;
-  spec.item_counts = dataset.item_counts;
-  spec.wave = *wave_or;
-  spec.attacker_fraction = spec.wave == WaveShape::kNone ? 0.0 : beta;
-  spec.num_targets = num_targets;
-  if (spec.wave == WaveShape::kWave) {
-    spec.wave_start = spec.total_reports * 3 / 10;
-    spec.wave_end = spec.total_reports * 7 / 10;
-  }
-  if (const Status valid = ValidateStreamSpec(spec); !valid.ok()) {
-    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
-    return 1;
-  }
-
-  const auto protocol = MakeProtocol(kind, dataset.domain_size(), epsilon);
-  StreamEngineOptions options;
-  options.recover.eta = eta;
-  const double base = ApproxGenuineSuspicionRate(*protocol, spec.num_targets);
-  const double peak =
-      spec.attacker_fraction > 0.0 ? spec.attacker_fraction : 0.25;
-  options.detect_fraction = base + peak * (1.0 - base) / 2.0;
-
-  std::printf("ldprecover_cli --stream: %s on %s (d=%zu, n=%llu), eps=%g, "
-              "wave=%s, beta=%g, window=%zu, stride=%zu\n\n",
-              ProtocolKindName(kind), dataset.name.c_str(),
-              dataset.domain_size(),
-              static_cast<unsigned long long>(spec.total_reports), epsilon,
-              WaveShapeName(spec.wave), spec.attacker_fraction,
-              spec.window_reports, spec.stride_reports);
-
-  const StreamSummary summary = RunStream(*protocol, spec, options, seed);
-
-  sink.BeginTable("Streaming windows",
-                  {"Reports", "Attackers", "MSE", "RecMSE", "Detected"});
-  for (const WindowResult& w : summary.windows) {
-    sink.AddRow("win" + std::to_string(w.index),
-                {static_cast<double>(w.report_count),
-                 static_cast<double>(w.attackers), w.mse_estimate,
-                 w.mse_recovered, w.detected ? 1.0 : 0.0});
-  }
-  sink.EndTable();
-
-  if (summary.windows_to_detection == kNoDetection) {
-    std::printf("windows to detection: none flagged\n");
-  } else {
-    std::printf("windows to detection: %lld after attack onset\n",
-                static_cast<long long>(summary.windows_to_detection));
-  }
-  std::printf("total: %zu reports (%zu attackers), peak buffer %zu "
-              "reports, mean window MSE %.3e (recovered %.3e)\n",
-              summary.total_reports, summary.total_attackers,
-              summary.peak_buffered_reports, summary.mean_mse_estimate,
-              summary.mean_mse_recovered);
-
-  const Status finish = sink.Finish();
-  if (!finish.ok()) {
-    std::fprintf(stderr, "error: %s\n", finish.ToString().c_str());
-    return 1;
-  }
-  return 0;
-}
-
-StatusOr<AttackKind> ParseAttack(const std::string& name) {
-  if (name == "none") return AttackKind::kNone;
-  if (name == "Manip" || name == "manip") return AttackKind::kManip;
-  if (name == "MGA" || name == "mga") return AttackKind::kMga;
-  if (name == "AA" || name == "aa") return AttackKind::kAdaptive;
-  if (name == "MGA-IPA" || name == "mga-ipa") return AttackKind::kMgaIpa;
-  if (name == "MUL-AA" || name == "mul-aa") return AttackKind::kMultiAdaptive;
-  return InvalidArgumentError("unknown attack: " + name);
-}
-
-StatusOr<Dataset> ParseDataset(const FlagParser& flags) {
-  const std::string csv = flags.GetString("csv", "");
-  if (!csv.empty()) {
-    auto loaded = LoadItemCsv(csv);
-    if (!loaded.ok()) return loaded.status();
-    return std::move(loaded).value().dataset;
-  }
-  const std::string name = flags.GetString("dataset", "ipums");
-  const auto d = flags.GetInt("d", 102);
-  const auto n = flags.GetInt("n", 100000);
-  const auto s = flags.GetDouble("zipf_s", 1.0);
-  if (!d.ok()) return d.status();
-  if (!n.ok()) return n.status();
-  if (!s.ok()) return s.status();
-  if (*d < 2) return InvalidArgumentError("--d must be >= 2");
-  if (*n < 1) return InvalidArgumentError("--n must be >= 1");
-  if (name == "ipums") return MakeIpumsLike();
-  if (name == "fire") return MakeFireLike();
-  if (name == "zipf") {
-    return MakeZipfDataset("zipf", static_cast<size_t>(*d),
-                           static_cast<uint64_t>(*n), *s, /*shuffle_seed=*/17);
-  }
-  if (name == "uniform") {
-    return MakeUniformDataset("uniform", static_cast<size_t>(*d),
-                              static_cast<uint64_t>(*n));
-  }
-  return InvalidArgumentError("unknown dataset: " + name);
-}
-
-int Run(int argc, char** argv) {
-  const FlagParser flags(argc, argv);
-
-  const auto protocol_or =
-      ParseProtocolKind(flags.GetString("protocol", "GRR"));
-  const auto attack_or = ParseAttack(flags.GetString("attack", "AA"));
-  auto dataset_or = ParseDataset(flags);
-  const auto epsilon = flags.GetDouble("epsilon", 0.5);
-  const auto beta = flags.GetDouble("beta", 0.05);
-  const auto eta = flags.GetDouble("eta", 0.2);
-  const auto targets = flags.GetInt("targets", 10);
-  const auto trials = flags.GetInt("trials", 5);
-  const auto seed = flags.GetInt("seed", 1);
-  const auto scale = flags.GetDouble("scale", 1.0);
-  const auto top_k = flags.GetInt("top_k", 10);
-  const auto threads = flags.GetInt("threads", 0);
-  const std::string out_path = flags.GetString("out", "");
-  const bool stream_mode = flags.GetBool("stream", false);
-  if (stream_mode) {
-    // Streaming knobs are queried (and validated) inside
-    // RunStreamMode; touch them here so the typo check below only
-    // rejects them in batch mode, where they have no meaning.
-    (void)flags.GetInt("window", 0);
-    (void)flags.GetInt("stride", 0);
-    (void)flags.GetString("wave", "constant");
-  }
-
-  for (const Status& status :
-       {protocol_or.ok() ? Status::Ok() : protocol_or.status(),
-        attack_or.ok() ? Status::Ok() : attack_or.status(),
-        dataset_or.ok() ? Status::Ok() : dataset_or.status(),
-        epsilon.ok() ? Status::Ok() : epsilon.status(),
-        beta.ok() ? Status::Ok() : beta.status(),
-        eta.ok() ? Status::Ok() : eta.status(),
-        targets.ok() ? Status::Ok() : targets.status(),
-        trials.ok() ? Status::Ok() : trials.status(),
-        seed.ok() ? Status::Ok() : seed.status(),
-        scale.ok() ? Status::Ok() : scale.status(),
-        top_k.ok() ? Status::Ok() : top_k.status(),
-        threads.ok() ? Status::Ok() : threads.status()}) {
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-  }
-  for (const std::string& unused : flags.unused_flags()) {
-    std::fprintf(stderr, "error: unknown flag --%s\n", unused.c_str());
-    return 1;
-  }
-
-  ExperimentConfig config;
-  config.protocol = *protocol_or;
-  config.epsilon = *epsilon;
-  config.pipeline.attack = *attack_or;
-  config.pipeline.beta = *beta;
-  config.pipeline.num_targets = static_cast<size_t>(*targets);
-  config.eta = *eta;
-  config.trials = static_cast<size_t>(*trials);
-  config.seed = static_cast<uint64_t>(*seed);
-  config.threads = *threads < 0 ? 0 : static_cast<size_t>(*threads);
-
-  // Surface bad knobs as status errors before any CHECK-guarded
-  // library code can abort on them (empty/scaled-away datasets, zero
-  // trials, out-of-range epsilon/beta/eta/targets, ...).
-  if (!(*scale > 0.0 && *scale <= 1.0)) {
-    std::fprintf(stderr, "error: INVALID_ARGUMENT: --scale must be in (0, 1]\n");
-    return 1;
-  }
-  if (*top_k < 1) {
-    std::fprintf(stderr, "error: INVALID_ARGUMENT: --top_k must be >= 1\n");
-    return 1;
-  }
-  const Dataset dataset = ScaleDataset(*dataset_or, *scale);
-  if (const Status valid = ValidateExperimentInputs(config, dataset);
-      !valid.ok()) {
-    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
-    return 1;
-  }
-
-  // The console table and the optional --out file are two sinks over
-  // one row stream, so the file always mirrors what was printed.
-  // Opened before the experiment so a bad path fails in milliseconds,
-  // not after a paper-scale run.
-  std::vector<std::unique_ptr<ResultSink>> sinks;
-  sinks.push_back(std::make_unique<ConsoleSink>());
-  if (!out_path.empty()) {
-    const bool jsonl = out_path.size() >= 6 &&
-                       out_path.compare(out_path.size() - 6, 6, ".jsonl") == 0;
-    if (jsonl) {
-      auto out_sink = std::make_unique<JsonlSink>(out_path);
-      if (!out_sink->ok()) {
-        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
-        return 1;
-      }
-      sinks.push_back(std::move(out_sink));
-    } else {
-      auto out_sink = std::make_unique<CsvSink>(out_path);
-      if (!out_sink->ok()) {
-        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
-        return 1;
-      }
-      sinks.push_back(std::move(out_sink));
-    }
-  }
-  MultiSink sink(std::move(sinks));
-  {
-    ScenarioRunInfo info;
-    info.id = stream_mode ? "cli-stream" : "cli";
-    sink.BeginScenario(info);
-  }
-
-  if (stream_mode) {
-    const int rc = RunStreamMode(flags, config.protocol, dataset, *epsilon,
-                                 *beta, *eta, config.pipeline.num_targets,
-                                 config.seed, sink);
-    if (rc == 0 && !out_path.empty())
-      std::printf("\nwrote %s\n", out_path.c_str());
-    return rc;
-  }
-
-  std::printf("ldprecover_cli: %s under %s on %s (d=%zu, n=%llu), eps=%g, "
-              "beta=%g, eta=%g, %zu trials\n\n",
-              ProtocolKindName(config.protocol),
-              AttackKindName(config.pipeline.attack), dataset.name.c_str(),
-              dataset.domain_size(),
-              static_cast<unsigned long long>(dataset.num_users()),
-              config.epsilon, config.pipeline.beta, config.eta,
-              config.trials);
-
-  const ExperimentResult r = RunExperiment(config, dataset);
-
-  sink.BeginTable("Recovery accuracy", {"MSE", "FG", "samples"});
-  sink.AddRow("Before", {r.mse_before.mean(), r.fg_before.mean(),
-                         static_cast<double>(r.mse_before.count())});
-  if (r.mse_detection.count() > 0) {
-    sink.AddRow("Detection", {r.mse_detection.mean(), r.fg_detection.mean(),
-                              static_cast<double>(r.mse_detection.count())});
-  }
-  sink.AddRow("LDPRecover", {r.mse_recover.mean(), r.fg_recover.mean(),
-                             static_cast<double>(r.mse_recover.count())});
-  if (r.mse_recover_star.count() > 0) {
-    sink.AddRow("LDPRecover*",
-                {r.mse_recover_star.mean(), r.fg_recover_star.mean(),
-                 static_cast<double>(r.mse_recover_star.count())});
-  }
-  sink.EndTable();
-
-  // Task-level view: how intact is the published top-k?
-  // (single representative trial for the ranking illustration)
-  const auto protocol =
-      MakeProtocol(config.protocol, dataset.domain_size(), config.epsilon);
-  Rng rng(config.seed);
-  const TrialOutput t =
-      RunPoisoningTrial(*protocol, config.pipeline, dataset, rng);
-  RecoverOptions ropts;
-  ropts.eta = config.eta;
-  if (!t.attack_targets.empty()) ropts.known_targets = t.attack_targets;
-  const LdpRecover recover(*protocol, ropts);
-  const auto recovered = recover.Recover(t.poisoned_freqs);
-  const size_t k = static_cast<size_t>(*top_k);
-  std::printf("top-%zu displacement vs truth: poisoned %.2f, recovered %.2f\n",
-              k, TopKDisplacement(t.true_freqs, t.poisoned_freqs, k),
-              TopKDisplacement(t.true_freqs, recovered, k));
-  if (!t.attack_targets.empty()) {
-    std::printf("attacker targets inside top-%zu: poisoned %zu, recovered "
-                "%zu (of %zu)\n",
-                k, CountInTopK(t.poisoned_freqs, t.attack_targets, k),
-                CountInTopK(recovered, t.attack_targets, k),
-                t.attack_targets.size());
-  }
-
-  const Status finish = sink.Finish();
-  if (!finish.ok()) {
-    std::fprintf(stderr, "error: %s\n", finish.ToString().c_str());
-    return 1;
-  }
-  if (!out_path.empty()) std::printf("\nwrote %s\n", out_path.c_str());
-  return 0;
-}
-
-}  // namespace
-}  // namespace ldpr
-
-int main(int argc, char** argv) { return ldpr::Run(argc, argv); }
