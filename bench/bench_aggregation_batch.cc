@@ -139,7 +139,8 @@ int Run(int argc, char** argv) {
     const size_t n = *reports_flag > 0
                          ? static_cast<size_t>(*reports_flag)
                          : DefaultReports(kind, static_cast<size_t>(*d));
-    Rng rng(1);
+    constexpr uint64_t kCraftSeed = 1;  // same crafted reports every run
+    Rng rng(kCraftSeed);
     const MgaAttack mga(MgaAttack::SampleTargets(
         static_cast<size_t>(*d), static_cast<size_t>(*targets), rng));
     const std::vector<Report> reports = mga.Craft(*proto, n, rng);

@@ -56,7 +56,8 @@ int main() {
   // 64 emoji, 200k users, heavily skewed usage.
   const Dataset week = MakeZipfDataset("emoji", 64, 200000, 1.2, 3);
   const Oue oue(week.domain_size(), /*epsilon=*/0.5);
-  Rng rng(2024);
+  constexpr uint64_t kDemoSeed = 2024;  // pinned so the output is reproducible
+  Rng rng(kDemoSeed);
 
   // Weeks 1-6: clean history the server archives.
   std::vector<std::vector<double>> history;

@@ -29,7 +29,8 @@ int main() {
   const std::vector<double> mean_ratings = {0.5, 0.1, 0.3, -0.2, 0.4, -0.7};
 
   const KvProtocol protocol(d, /*eps_key=*/1.0, /*eps_value=*/1.0);
-  Rng rng(77);
+  constexpr uint64_t kDemoSeed = 77;  // pinned so the output is reproducible
+  Rng rng(kDemoSeed);
 
   // 200k genuine users, one (category, rating) pair each.
   const AliasSampler categories(category_freqs);

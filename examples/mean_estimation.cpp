@@ -23,7 +23,8 @@ int main() {
 
   const Harmony harmony(/*epsilon=*/1.0);
   const Grr& rr = harmony.protocol();  // binary randomized response
-  Rng rng(99);
+  constexpr uint64_t kDemoSeed = 99;  // pinned so the output is reproducible
+  Rng rng(kDemoSeed);
 
   // 100k genuine users with ratings centred at -0.2 (on [-1, 1]).
   const size_t n = 100000;

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   const std::vector<double> truth = population.TrueFrequencies();
 
   const Grr grr(population.domain_size(), /*epsilon=*/1.0);
-  Rng rng(42);
+  constexpr uint64_t kDemoSeed = 42;  // pinned so the output is reproducible
+  Rng rng(kDemoSeed);
 
   // 1-2. Aggregate genuine reports, then append 2,500 crafted ones
   //      (5% malicious) that all promote item 7.

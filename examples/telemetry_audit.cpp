@@ -27,7 +27,8 @@ int main() {
   const Dataset clients = MakeZipfDataset("search", 40, 150000, 1.4, 11);
   const auto truth = clients.TrueFrequencies();
   const Olh olh(clients.domain_size(), /*epsilon=*/0.5);
-  Rng rng(7);
+  constexpr uint64_t kDemoSeed = 7;  // pinned so the output is reproducible
+  Rng rng(kDemoSeed);
 
   // The attacker hijacks 8% of clients and floods a random half of
   // the domain with uniform crafted reports.

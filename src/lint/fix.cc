@@ -1,0 +1,96 @@
+#include "lint/fix.h"
+
+#include <algorithm>
+
+namespace ldpr {
+namespace lint {
+namespace {
+
+/// First `#ifndef X` argument in the file's code view (same "first
+/// ifndef anywhere" scan R5 uses); "" when the file has none.
+std::string FirstIfndefArg(const SourceFile& file) {
+  for (const std::string& line : file.code_lines) {
+    size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 6, "ifndef") != 0) {
+      continue;
+    }
+    pos = line.find_first_not_of(" \t", pos + 6);
+    if (pos == std::string::npos) return "";
+    size_t end = pos;
+    while (end < line.size() && IsIdentChar(line[end])) ++end;
+    return line.substr(pos, end - pos);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CanonicalHeaderGuard(const std::string& path) {
+  // Mirrors rule_headers.cc's derivation: strip "src/", uppercase,
+  // '/' and '.' become '_', trailing '_'.
+  std::string guard = "LDPR_";
+  const std::string rel =
+      path.compare(0, 4, "src/") == 0 ? path.substr(4) : path;
+  for (char c : rel) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else if (c >= 'a' && c <= 'z') {
+      guard.push_back(static_cast<char>(c - 'a' + 'A'));
+    } else {
+      guard.push_back(c);
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<HeaderGuardFix> PlanHeaderGuardFixes(const LintTree& tree) {
+  std::vector<HeaderGuardFix> fixes;
+  for (const SourceFile& file : tree.files) {
+    if (file.path.compare(0, 4, "src/") != 0) continue;
+    if (file.path.size() < 2 ||
+        file.path.compare(file.path.size() - 2, 2, ".h") != 0) {
+      continue;
+    }
+    const std::string have = FirstIfndefArg(file);
+    if (have.empty()) continue;  // guard-less: R5 finding, not fixable
+    const std::string want = CanonicalHeaderGuard(file.path);
+    if (have == want) continue;
+    fixes.push_back(HeaderGuardFix{file.path, have, want});
+  }
+  std::sort(fixes.begin(), fixes.end(),
+            [](const HeaderGuardFix& a, const HeaderGuardFix& b) {
+              return a.path < b.path;
+            });
+  return fixes;
+}
+
+std::string ApplyHeaderGuardFix(const std::string& text,
+                                const HeaderGuardFix& fix) {
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t hit = text.find(fix.old_guard, pos);
+    if (hit == std::string::npos) {
+      out.append(text, pos, text.size() - pos);
+      break;
+    }
+    const bool left_ok = hit == 0 || !IsIdentChar(text[hit - 1]);
+    const size_t end = hit + fix.old_guard.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    out.append(text, pos, hit - pos);
+    if (left_ok && right_ok) {
+      out += fix.new_guard;
+    } else {
+      out.append(text, hit, fix.old_guard.size());
+    }
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace ldpr

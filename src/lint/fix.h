@@ -1,0 +1,52 @@
+// `ldpr_lint --fix=header-guards` — mechanical rewrite of R5 guards.
+//
+// R5 findings are pure renames (the canonical guard is a function of
+// the path), so the fix is safe to automate: replace every
+// token-bounded occurrence of the wrong guard name with the canonical
+// one — the #ifndef, the #define, and the trailing `#endif  // X`
+// comment all reference the same identifier, so one token-wise
+// replacement fixes all three and nothing else.  Headers with no
+// guard at all are NOT auto-fixed (inserting one is a layout
+// decision); they stay R5 findings.
+//
+// The CLI is dry-run by default (prints the plan, exits 1 when fixes
+// are pending so it can gate) and rewrites only under --apply.  The
+// rewrite is idempotent: after one application the plan is empty.
+
+#ifndef LDPR_LINT_FIX_H_
+#define LDPR_LINT_FIX_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ldpr {
+namespace lint {
+
+/// One planned guard rename.
+struct HeaderGuardFix {
+  std::string path;       // repo-relative header path
+  std::string old_guard;  // current (wrong) guard identifier
+  std::string new_guard;  // canonical LDPR_<PATH>_H_ identifier
+};
+
+/// The canonical guard for a src/ header path (src/ldp/grr.h ->
+/// LDPR_LDP_GRR_H_).
+std::string CanonicalHeaderGuard(const std::string& path);
+
+/// Plans fixes over a scanned tree: every src/**/*.h whose first
+/// #ifndef names a non-canonical guard.  Sorted by path.
+std::vector<HeaderGuardFix> PlanHeaderGuardFixes(const LintTree& tree);
+
+/// Applies one rename to a file's full text: every token-bounded
+/// occurrence of old_guard (comments included — the #endif trailer
+/// lives in one) becomes new_guard.  Pure function; applying twice is
+/// a no-op because old_guard no longer occurs.
+std::string ApplyHeaderGuardFix(const std::string& text,
+                                const HeaderGuardFix& fix);
+
+}  // namespace lint
+}  // namespace ldpr
+
+#endif  // LDPR_LINT_FIX_H_

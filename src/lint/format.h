@@ -1,0 +1,44 @@
+// Machine-readable emitters for ldpr_lint findings.
+//
+// The plain `file:line: [rule] message` format stays the default for
+// humans and greps; these two exist so the CI lint job can annotate
+// PR diffs inline instead of burying findings in a log:
+//
+//   --format=sarif   SARIF 2.1.0, one run, one result per finding —
+//                    uploaded to GitHub code scanning.
+//   --format=github  GitHub Actions workflow commands
+//                    (`::error file=...,line=...::...`) — the
+//                    fallback when code-scanning upload is
+//                    unavailable (forks, token scopes).
+//
+// Both emitters are byte-deterministic functions of the finding list
+// (locked by golden tests), so SARIF diffs in CI artifacts are
+// meaningful.
+
+#ifndef LDPR_LINT_FORMAT_H_
+#define LDPR_LINT_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ldpr {
+namespace lint {
+
+/// One-line description of a rule id ("R1".."R8", "allowlist"); ""
+/// for unknown ids.  Single source of truth for the SARIF rule table.
+std::string RuleDescription(const std::string& rule);
+
+/// SARIF 2.1.0 document: tool driver "ldpr_lint", the full rule
+/// table, one result per finding (level "error").
+std::string FindingsToSarif(const std::vector<Finding>& findings);
+
+/// GitHub Actions annotations, one `::error` command per finding,
+/// terminated by a newline each.
+std::string FindingsToGithub(const std::vector<Finding>& findings);
+
+}  // namespace lint
+}  // namespace ldpr
+
+#endif  // LDPR_LINT_FORMAT_H_

@@ -1,0 +1,75 @@
+// The cross-TU half of ldpr_lint: the `#include` graph over src/.
+//
+// PR 8's rules are single-file — nothing in a token scan of one TU
+// can see that src/util/ grew an upward include into src/shard/ and
+// closed a layering cycle.  This module builds the quote-include
+// graph from the already-scanned tree (no extra IO: include targets
+// are resolved against the repo-relative paths the scanner recorded)
+// and feeds rule R6, which enforces the declarative layer order
+// committed as ci/lint_layers.txt: a file in src/<X>/ may include its
+// own subdirectory or any subdirectory listed on an earlier line,
+// nothing later.  The same graph is rendered as graphviz so the
+// layering docs embed the measured picture, not a hand-drawn one.
+//
+// Include lines are taken from raw_lines (the scanner blanks string
+// literals, which is exactly where the include path lives) but only
+// on lines whose code view still carries the `#include` token — a
+// commented-out include is not an edge.
+
+#ifndef LDPR_LINT_INCLUDE_GRAPH_H_
+#define LDPR_LINT_INCLUDE_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ldpr {
+namespace lint {
+
+/// One `#include "target"` edge out of a scanned file under src/.
+/// `target` is the include string verbatim (resolved against -Isrc,
+/// so "ldp/grr.h" means src/ldp/grr.h); `subdir`/`target_subdir` are
+/// the first path components on each side ("" when the target is not
+/// a src/ subdirectory — e.g. "gtest/gtest.h").
+struct IncludeEdge {
+  std::string path;    // including file, repo-relative (src/...)
+  size_t line = 0;     // 1-based line of the #include
+  std::string target;  // include string, src-relative
+  std::string subdir;
+  std::string target_subdir;
+};
+
+/// The include graph over every scanned file under src/.
+struct IncludeGraph {
+  std::vector<IncludeEdge> edges;  // in (path, line) scan order
+};
+
+/// Extracts the quote-include edges of all src/ files in `tree`.
+/// A target subdir counts as a src/ subdir when some scanned file
+/// lives under it (fixture trees) — external includes get "".
+IncludeGraph BuildIncludeGraph(const LintTree& tree);
+
+/// The committed layer order: one subdir per line, '#' comments and
+/// blank lines skipped, lowest layer first.
+std::vector<std::string> ParseLayerOrder(const SourceFile& layers_file);
+
+/// Renders the subdir-level condensation of the graph as graphviz:
+/// one node per src/ subdir (annotated with its layer index), one
+/// edge per subdir pair labelled with the include count.  Output is
+/// deterministic (sorted) so the emitted file is diff-stable.
+std::string IncludeGraphDot(const IncludeGraph& graph,
+                            const std::vector<std::string>& layers);
+
+/// R6 — layer-DAG enforcement over the include graph, driven by the
+/// ci/lint_layers.txt file loaded into the tree (absent = skipped,
+/// so fixture trees opt in).  Findings: upward includes, includes of
+/// unlisted subdirs, src/ subdirs missing from the layer file, and
+/// file-level include cycles.
+void CheckLayering(const LintTree& tree, std::vector<Finding>* out);
+
+}  // namespace lint
+}  // namespace ldpr
+
+#endif  // LDPR_LINT_INCLUDE_GRAPH_H_

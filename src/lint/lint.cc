@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <tuple>
 
+#include "lint/include_graph.h"
+
 namespace ldpr {
 namespace lint {
 
@@ -26,6 +28,9 @@ std::string PragmaKeyForRule(const std::string& rule) {
   if (rule == "R2") return "unordered-iter";
   if (rule == "R3") return "fp-order";
   if (rule == "R5") return "header-guard";
+  if (rule == "R6") return "layering";
+  if (rule == "R7") return "par-capture";
+  if (rule == "R8") return "seed";
   return "";  // R4 and allowlist errors have no pragma escape
 }
 
@@ -46,8 +51,14 @@ void LintOneFile(const LintTree& tree, const SourceFile& file,
   const bool in_src = StartsWith(file.path, "src/");
   const bool in_tools = StartsWith(file.path, "tools/");
   const bool in_bench = StartsWith(file.path, "bench/");
-  if (in_src || in_tools || in_bench) {
+  const bool in_examples = StartsWith(file.path, "examples/");
+  if (in_src || in_tools || in_bench || in_examples) {
     CheckNondeterminismSources(file, findings);
+    // R7/R8 guard runtime code wherever it runs — the examples are
+    // runnable code too, and tutorial snippets get copied verbatim.
+    // tests/ stay exempt: fixtures pin literal seeds on purpose.
+    CheckParallelCaptures(file, findings);
+    CheckSeedDiscipline(file, findings);
   }
   if (in_src) {
     CheckUnorderedIteration(file, findings);
@@ -111,11 +122,13 @@ LintResult LintScannedTree(const LintTree& tree,
                            const std::string& allowlist_path) {
   std::vector<Finding> raw;
   for (const SourceFile& file : tree.files) {
-    if (EndsWith(file.path, ".cc") || EndsWith(file.path, ".h")) {
+    if (EndsWith(file.path, ".cc") || EndsWith(file.path, ".h") ||
+        EndsWith(file.path, ".cpp")) {
       LintOneFile(tree, file, &raw);
     }
   }
   CheckTestRegistration(tree, &raw);
+  CheckLayering(tree, &raw);
 
   // Pragma suppression: a finding on a line covered by its rule's
   // `<key>-ok(<reason>)` pragma is dropped.
@@ -162,6 +175,16 @@ LintResult LintScannedTree(const LintTree& tree,
   LintResult result;
   result.findings = std::move(kept);
   result.files_scanned = tree.files.size();
+  bool has_src = false;
+  for (const SourceFile& file : tree.files) {
+    if (StartsWith(file.path, "src/")) has_src = true;
+  }
+  if (has_src) {
+    const SourceFile* layers_file = tree.Find("ci/lint_layers.txt");
+    std::vector<std::string> layers;
+    if (layers_file != nullptr) layers = ParseLayerOrder(*layers_file);
+    result.include_graph_dot = IncludeGraphDot(BuildIncludeGraph(tree), layers);
+  }
   return result;
 }
 
@@ -184,7 +207,7 @@ Status LoadInto(const fs::path& disk, const std::string& repo_path,
 
 }  // namespace
 
-StatusOr<LintResult> RunLint(const LintOptions& options) {
+StatusOr<LintTree> ScanTree(const LintOptions& options) {
   LintTree tree;
   tree.repo_root = options.repo_root;
   const fs::path repo_root(options.repo_root);
@@ -201,7 +224,9 @@ StatusOr<LintResult> RunLint(const LintOptions& options) {
            it != end && !ec; it.increment(ec)) {
         if (!it->is_regular_file()) continue;
         const std::string ext = it->path().extension().string();
-        if (ext == ".cc" || ext == ".h") scan_files.push_back(it->path());
+        if (ext == ".cc" || ext == ".h" || ext == ".cpp") {
+          scan_files.push_back(it->path());
+        }
       }
       if (ec) return InternalError("walking " + root_path.string() + ": " +
                                    ec.message());
@@ -228,7 +253,8 @@ StatusOr<LintResult> RunLint(const LintOptions& options) {
     tree.files.push_back(std::move(file).value());
   }
 
-  // R4's inputs: the build registration and the CI matrix.
+  // R4's inputs (the build registration and the CI matrix) and R6's
+  // (the declared layer order).
   if (!options.repo_root.empty()) {
     Status status = LoadInto(repo_root / "CMakeLists.txt", "CMakeLists.txt",
                              /*optional=*/true, &tree);
@@ -236,13 +262,22 @@ StatusOr<LintResult> RunLint(const LintOptions& options) {
     status = LoadInto(repo_root / ".github/workflows/ci.yml",
                       ".github/workflows/ci.yml", /*optional=*/true, &tree);
     if (!status.ok()) return status;
+    status = LoadInto(repo_root / "ci/lint_layers.txt", "ci/lint_layers.txt",
+                      /*optional=*/true, &tree);
+    if (!status.ok()) return status;
   }
+  return tree;
+}
+
+StatusOr<LintResult> RunLint(const LintOptions& options) {
+  auto tree = ScanTree(options);
+  if (!tree.ok()) return tree.status();
 
   std::string allowlist_text;
   if (!options.allowlist_path.empty()) {
     fs::path allowlist(options.allowlist_path);
     if (allowlist.is_relative() && !options.repo_root.empty()) {
-      allowlist = repo_root / allowlist;
+      allowlist = fs::path(options.repo_root) / allowlist;
     }
     std::error_code ec;
     if (fs::exists(allowlist, ec) && !ec) {
@@ -255,7 +290,7 @@ StatusOr<LintResult> RunLint(const LintOptions& options) {
     }
   }
 
-  return LintScannedTree(tree, allowlist_text, options.allowlist_path);
+  return LintScannedTree(tree.value(), allowlist_text, options.allowlist_path);
 }
 
 }  // namespace lint

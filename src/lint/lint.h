@@ -31,12 +31,26 @@
 //   R5  public headers in src/ carry the canonical include guard
 //       (LDPR_<PATH>_H_) — the static complement of the generated
 //       one-TU-per-header self-containment build check.
+//   R6  the src/ include graph respects the declarative layer order
+//       in ci/lint_layers.txt (one subdir per line, low to high):
+//       a file may only include headers from its own or lower layers,
+//       and include cycles are rejected outright.  The measured DAG
+//       is emitted as DOT for the CI artifact trail.
+//   R7  lambdas handed to ParallelFor/Submit must not write through a
+//       by-reference capture unless the written slot is indexed by
+//       the loop variable (the one sanctioned "each iteration owns
+//       its slot" pattern) — anything else is a cross-iteration race
+//       that TSan only catches when the schedule cooperates.
+//   R8  every Rng constructed outside util/random and tests/ must be
+//       seeded from DeriveSeed(...) or a *_seed identifier, and Rng
+//       must never be passed by value (copying forks the stream).
 //
 // Escape hatches: a same/previous-line `// lint: <key>-ok(<reason>)`
-// pragma (keys: nondet, unordered-iter, fp-order, header-guard), or a
-// `ci/lint_allowlist.txt` entry `<rule> <path> <substring>`.  Stale
-// allowlist entries (matching no finding) are themselves findings, so
-// suppressions cannot outlive the code they excuse.
+// pragma (keys: nondet, unordered-iter, fp-order, header-guard,
+// layering, par-capture, seed), or a `ci/lint_allowlist.txt` entry
+// `<rule> <path> <substring>`.  Stale allowlist entries (matching no
+// finding) are themselves findings, so suppressions cannot outlive
+// the code they excuse.
 
 #ifndef LDPR_LINT_LINT_H_
 #define LDPR_LINT_LINT_H_
@@ -51,7 +65,7 @@
 namespace ldpr {
 namespace lint {
 
-/// One rule violation.  `rule` is the stable id ("R1".."R5", or
+/// One rule violation.  `rule` is the stable id ("R1".."R8", or
 /// "allowlist" for stale-entry errors).
 struct Finding {
   std::string path;
@@ -87,6 +101,13 @@ void CheckTestRegistration(const LintTree& tree,
                            std::vector<Finding>* out);  // R4 (repo-level)
 void CheckHeaderGuard(const SourceFile& file,
                       std::vector<Finding>* out);  // R5
+void CheckLayering(const LintTree& tree,
+                   std::vector<Finding>* out);  // R6 (repo-level;
+                                                // see include_graph.h)
+void CheckParallelCaptures(const SourceFile& file,
+                           std::vector<Finding>* out);  // R7
+void CheckSeedDiscipline(const SourceFile& file,
+                         std::vector<Finding>* out);  // R8
 
 /// Pragma key a rule id answers to ("" when the rule has none).
 std::string PragmaKeyForRule(const std::string& rule);
@@ -106,7 +127,17 @@ struct LintOptions {
 struct LintResult {
   std::vector<Finding> findings;  // sorted by (path, line, rule)
   size_t files_scanned = 0;
+  /// DOT rendering of the src/ include DAG R6 measured ("" when the
+  /// scan covered no src/ files).  The CLI writes it via --dot=FILE;
+  /// CI attaches it as an artifact so layer drift is reviewable.
+  std::string include_graph_dot;
 };
+
+/// Scans the roots (plus the repo-level inputs: CMakeLists.txt, the
+/// CI workflow, ci/lint_layers.txt) into a tree without running any
+/// rule — the shared front half of RunLint, also used by --fix modes
+/// that need the scanned files themselves.
+StatusOr<LintTree> ScanTree(const LintOptions& options);
 
 /// Scans, runs every rule, applies pragmas and the allowlist.
 /// Returns an error only for environment problems (unreadable root);

@@ -1,0 +1,430 @@
+// R7 — by-reference captures written inside parallel lambdas.
+//
+// The class of bug TSan caught in PR 2 (concurrent writes through a
+// shared global) only trips a sanitizer when a test happens to race;
+// this rule rejects the pattern statically.  Inside a lambda passed
+// to ParallelFor or Submit, a by-reference capture (`[&]` or `[&x]`)
+// that is *written* — assignment, compound assignment, `++`/`--`, or
+// a known-mutating method call — races across workers unless every
+// worker touches a disjoint slot.  The one disjointness proof a token
+// scanner can check is the repo's own idiom: the write target is
+// indexed by the lambda's loop parameter (`partials[chunk] = ...`).
+// Anything else needs a `// lint: par-capture-ok(<reason>)` pragma
+// naming the synchronization (mutex, atomic, serial fast path) or an
+// `R7 <path> <substring>` allowlist entry.
+//
+// src/util/thread_pool.cc is exempt: it IS the synchronization layer
+// (its Submit lambdas hand-roll the atomics and mutexes everything
+// else delegates to).  tests/ are not scanned for R7 — racy-looking
+// fixtures are how the pool itself is exercised.
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ldpr {
+namespace lint {
+namespace {
+
+struct Pos {
+  size_t index = std::string::npos;  // offset into the flattened text
+};
+
+/// Keywords that can directly precede an identifier without declaring
+/// it (`return x`, `case x:`...).  Everything else in that position is
+/// treated as a type token, i.e. a declaration.
+bool IsNonTypeKeyword(const std::string& token) {
+  for (const char* keyword :
+       {"return", "throw", "case", "new", "delete", "else", "do", "goto",
+        "sizeof", "typedef", "using", "namespace", "break", "continue",
+        "co_return", "co_yield", "co_await", "operator", "if", "in"}) {
+    if (token == keyword) return true;
+  }
+  return false;
+}
+
+/// Methods whose call mutates the receiver — the conservative core of
+/// the "non-const method call" heuristic.
+const char* const kMutatingMethods[] = {
+    "push_back", "emplace_back", "pop_back", "clear",  "resize", "reserve",
+    "insert",    "erase",        "assign",   "append", "swap",   "Add",
+};
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  for (const std::string& candidate : v) {
+    if (candidate == s) return true;
+  }
+  return false;
+}
+
+/// Flattens code lines into one string; `line_of(i)` recovers the
+/// 1-based line from a flat offset.
+struct FlatText {
+  std::string text;
+  std::vector<size_t> line_starts;  // offset of each line
+
+  explicit FlatText(const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      line_starts.push_back(text.size());
+      text += line;
+      text += '\n';
+    }
+  }
+
+  size_t LineOf(size_t index) const {
+    size_t lo = 0;
+    size_t hi = line_starts.size();
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (line_starts[mid] <= index) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo + 1;
+  }
+};
+
+/// Matching closer for the opener at `open` ('(' or '{' or '['),
+/// or npos when unbalanced.
+size_t MatchingClose(const std::string& text, size_t open) {
+  const char open_c = text[open];
+  const char close_c = open_c == '(' ? ')' : (open_c == '{' ? '}' : ']');
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_c) ++depth;
+    if (text[i] == close_c && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpaces(const std::string& text, size_t i) {
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n')) {
+    ++i;
+  }
+  return i;
+}
+
+/// One parallel lambda: its capture list, loop parameter, and body.
+struct ParallelLambda {
+  bool default_ref_capture = false;
+  std::vector<std::string> ref_captures;    // [&x] names
+  std::vector<std::string> value_captures;  // [x], [x = ...] names
+  std::string loop_var;                     // first lambda parameter, or ""
+  size_t body_begin = 0;                    // offset of '{' + 1
+  size_t body_end = 0;                      // offset of matching '}'
+};
+
+/// Parses the lambda literal whose capture list opens at `open`
+/// (text[open] == '['); false when it does not parse as a lambda.
+bool ParseLambda(const std::string& text, size_t open, ParallelLambda* out) {
+  const size_t close = MatchingClose(text, open);
+  if (close == std::string::npos) return false;
+
+  // Capture list: comma-split, each entry `&`, `=`, `&name`, `name`,
+  // `name = init`, `this`, `*this`.
+  std::string entry;
+  std::vector<std::string> entries;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '{' || c == '[' || c == '<') ++depth;
+    if (c == ')' || c == '}' || c == ']' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      entries.push_back(entry);
+      entry.clear();
+    } else {
+      entry.push_back(c);
+    }
+  }
+  entries.push_back(entry);
+  for (std::string& capture : entries) {
+    const size_t first = capture.find_first_not_of(" \t\n");
+    if (first == std::string::npos) continue;
+    const size_t last = capture.find_last_not_of(" \t\n");
+    capture = capture.substr(first, last - first + 1);
+    if (capture == "&") {
+      out->default_ref_capture = true;
+      continue;
+    }
+    if (capture == "=" || capture == "this" || capture == "*this") continue;
+    const bool by_ref = capture[0] == '&';
+    std::string name = by_ref ? capture.substr(1) : capture;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) name.resize(eq);  // init capture
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+      name.pop_back();
+    }
+    if (name.empty()) return false;
+    (by_ref ? out->ref_captures : out->value_captures).push_back(name);
+  }
+
+  // Optional parameter list; the first parameter's trailing
+  // identifier is the loop variable.
+  size_t i = SkipSpaces(text, close + 1);
+  if (i < text.size() && text[i] == '(') {
+    const size_t params_close = MatchingClose(text, i);
+    if (params_close == std::string::npos) return false;
+    std::string first_param;
+    for (size_t j = i + 1; j < params_close && text[j] != ','; ++j) {
+      first_param.push_back(text[j]);
+    }
+    size_t end = first_param.size();
+    while (end > 0 && !IsIdentChar(first_param[end - 1])) --end;
+    size_t start = end;
+    while (start > 0 && IsIdentChar(first_param[start - 1])) --start;
+    out->loop_var = first_param.substr(start, end - start);
+    i = SkipSpaces(text, params_close + 1);
+  }
+  // Skip `mutable`, `noexcept`, `-> ret` up to the body brace.
+  while (i < text.size() && text[i] != '{') ++i;
+  if (i >= text.size()) return false;
+  const size_t body_close = MatchingClose(text, i);
+  if (body_close == std::string::npos) return false;
+  out->body_begin = i + 1;
+  out->body_end = body_close;
+  return true;
+}
+
+/// Identifier token ending at `end` (exclusive), or "".
+std::string IdentEndingAt(const std::string& text, size_t end) {
+  size_t start = end;
+  while (start > 0 && IsIdentChar(text[start - 1])) --start;
+  return text.substr(start, end - start);
+}
+
+/// Collects names that look declared inside [begin, end): an
+/// identifier whose preceding token is another identifier (a type),
+/// `>`, `&`, or `*` — `size_t i`, `auto& kv`, `std::vector<double> p`.
+void CollectLocals(const std::string& text, size_t begin, size_t end,
+                   std::vector<std::string>* locals) {
+  for (size_t i = begin; i < end; ++i) {
+    if (!IsIdentChar(text[i]) || (i > 0 && IsIdentChar(text[i - 1]))) continue;
+    size_t token_end = i;
+    while (token_end < end && IsIdentChar(text[token_end])) ++token_end;
+    const std::string name = text.substr(i, token_end - i);
+    size_t before = i;
+    while (before > begin && (text[before - 1] == ' ' || text[before - 1] == '\t')) {
+      --before;
+    }
+    bool declared = false;
+    if (before > begin) {
+      const char prev = text[before - 1];
+      if (prev == '>' || prev == '&' || prev == '*') {
+        declared = true;
+      } else if (IsIdentChar(prev)) {
+        declared = !IsNonTypeKeyword(IdentEndingAt(text, before));
+      }
+    }
+    if (declared && !Contains(*locals, name)) locals->push_back(name);
+    i = token_end;
+  }
+}
+
+/// The written target ending at `end` (exclusive, just past the last
+/// target char): an identifier with `[...]` / `.` / `->` chains, as in
+/// R3's extraction.  Returns the full chain; `base` gets the leftmost
+/// identifier (the object actually captured).
+std::string ExtractTarget(const std::string& text, size_t end,
+                          std::string* base) {
+  size_t start = end;
+  int brackets = 0;
+  while (start > 0) {
+    const char c = text[start - 1];
+    if (c == ']') ++brackets;
+    if (c == '[') --brackets;
+    if (brackets > 0 || IsIdentChar(c) || c == ']' || c == '[' || c == '.' ||
+        (c == '>' && start > 1 && text[start - 2] == '-')) {
+      --start;
+      if (c == '>' && text[start] == '>') --start;  // consumed '->'
+    } else {
+      break;
+    }
+  }
+  const std::string target = text.substr(start, end - start);
+  size_t base_end = 0;
+  while (base_end < target.size() && IsIdentChar(target[base_end])) ++base_end;
+  *base = target.substr(0, base_end);
+  return target;
+}
+
+/// True when `op_at` in `text` is a plain assignment `=` rather than
+/// a comparison or part of a compound token already handled.
+bool IsPlainAssign(const std::string& text, size_t op_at) {
+  if (text[op_at] != '=') return false;
+  if (op_at + 1 < text.size() && text[op_at + 1] == '=') return false;
+  if (op_at == 0) return false;
+  const char prev = text[op_at - 1];
+  if (prev == '=' || prev == '!' || prev == '<' || prev == '>') return false;
+  return true;
+}
+
+void CheckLambda(const SourceFile& file, const FlatText& flat,
+                 const ParallelLambda& lambda, const std::string& call,
+                 std::vector<Finding>* out) {
+  const std::string& text = flat.text;
+  std::vector<std::string> locals;
+  if (!lambda.loop_var.empty()) locals.push_back(lambda.loop_var);
+  CollectLocals(text, lambda.body_begin, lambda.body_end, &locals);
+
+  auto flag = [&](size_t at, const std::string& target,
+                  const std::string& how) {
+    out->push_back(Finding{
+        file.path, flat.LineOf(at), "R7",
+        "lambda passed to " + call + " " + how + " by-reference capture '" +
+            target + "' without indexing by the loop variable" +
+            (lambda.loop_var.empty() ? "" : " '" + lambda.loop_var + "'") +
+            " — concurrent workers race on it; write through a "
+            "loop-indexed slot, make it a local, or add "
+            "`// lint: par-capture-ok(<reason>)`"});
+  };
+
+  auto is_suspect = [&](const std::string& base, const std::string& target) {
+    if (base.empty() || Contains(locals, base)) return false;
+    if (Contains(lambda.value_captures, base)) return false;
+    if (!lambda.default_ref_capture &&
+        !Contains(lambda.ref_captures, base)) {
+      return false;  // not captured at all (globals are R1's business)
+    }
+    // Indexed by the loop variable anywhere in the chain = disjoint
+    // slots, the sanctioned pattern.
+    if (!lambda.loop_var.empty() &&
+        FindToken(target, lambda.loop_var) != std::string::npos &&
+        target != lambda.loop_var) {
+      return false;
+    }
+    return true;
+  };
+
+  for (size_t i = lambda.body_begin; i < lambda.body_end; ++i) {
+    const char c = text[i];
+    // Compound assignment and plain assignment.
+    bool is_write = false;
+    size_t target_end = 0;
+    if (c == '=' && IsPlainAssign(text, i)) {
+      is_write = true;
+      target_end = i;
+    } else if (i + 1 < lambda.body_end && text[i + 1] == '=' &&
+               (c == '+' || c == '-' || c == '*' || c == '/' || c == '|' ||
+                c == '&' || c == '^' || c == '%')) {
+      is_write = true;
+      target_end = i;
+      ++i;  // consume the '='
+    } else if ((c == '+' && text[i + 1] == '+') ||
+               (c == '-' && text[i + 1] == '-')) {
+      // Postfix: target before.  Prefix: target after.
+      size_t end = i;
+      while (end > lambda.body_begin && text[end - 1] == ' ') --end;
+      if (end > lambda.body_begin &&
+          (IsIdentChar(text[end - 1]) || text[end - 1] == ']')) {
+        is_write = true;
+        target_end = end;
+      } else {
+        size_t start = SkipSpaces(text, i + 2);
+        size_t token_end = start;
+        int brackets = 0;
+        while (token_end < lambda.body_end &&
+               (IsIdentChar(text[token_end]) || text[token_end] == '[' ||
+                text[token_end] == ']' || text[token_end] == '.' ||
+                brackets > 0)) {
+          if (text[token_end] == '[') ++brackets;
+          if (text[token_end] == ']') --brackets;
+          ++token_end;
+        }
+        if (token_end > start) {
+          is_write = true;
+          target_end = token_end;
+        }
+      }
+      ++i;  // consume the second +/-
+    }
+    if (is_write) {
+      std::string base;
+      size_t end = target_end;
+      while (end > lambda.body_begin && text[end - 1] == ' ') --end;
+      const std::string target = ExtractTarget(text, end, &base);
+      if (target.empty()) continue;
+      // `Type name = init` is a declaration, not a write: the token
+      // before the target is a type.
+      size_t before = end - target.size();
+      while (before > lambda.body_begin &&
+             (text[before - 1] == ' ' || text[before - 1] == '\t')) {
+        --before;
+      }
+      const char prev = before > lambda.body_begin ? text[before - 1] : '\0';
+      if (prev == '>' || prev == '&' || prev == '*' ||
+          (IsIdentChar(prev) &&
+           !IsNonTypeKeyword(IdentEndingAt(text, before)))) {
+        continue;
+      }
+      if (is_suspect(base, target)) flag(end, target, "writes");
+      continue;
+    }
+    // Mutating method call: target.method( / target->method(.
+    if (c == '.' ||
+        (c == '-' && i + 1 < lambda.body_end && text[i + 1] == '>')) {
+      const size_t name_start = c == '.' ? i + 1 : i + 2;
+      size_t name_end = name_start;
+      while (name_end < lambda.body_end && IsIdentChar(text[name_end])) {
+        ++name_end;
+      }
+      if (name_end >= lambda.body_end || text[name_end] != '(') continue;
+      const std::string method = text.substr(name_start, name_end - name_start);
+      bool mutating = false;
+      for (const char* candidate : kMutatingMethods) {
+        if (method == candidate) mutating = true;
+      }
+      if (!mutating) continue;
+      std::string base;
+      const std::string target = ExtractTarget(text, i, &base);
+      if (is_suspect(base, target)) {
+        flag(i, target + (c == '.' ? "." : "->") + method + "()",
+             "calls mutating method on");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckParallelCaptures(const SourceFile& file,
+                           std::vector<Finding>* out) {
+  if (file.path == "src/util/thread_pool.cc") return;  // the sync layer itself
+  const FlatText flat(file.code_lines);
+  const std::string& text = flat.text;
+
+  for (const char* call : {"ParallelFor", "Submit"}) {
+    for (size_t pos = FindToken(text, call); pos != std::string::npos;
+         pos = FindToken(text, call, pos + 1)) {
+      size_t open = pos + std::string(call).size();
+      open = SkipSpaces(text, open);
+      if (open >= text.size() || text[open] != '(') continue;
+      const size_t close = MatchingClose(text, open);
+      if (close == std::string::npos) continue;
+      // The first '[' among the arguments starts the lambda literal
+      // (the repo passes lambdas inline; named callables are opaque
+      // to this rule by design).
+      size_t bracket = std::string::npos;
+      int depth = 0;
+      for (size_t i = open; i < close; ++i) {
+        if (text[i] == '(') ++depth;
+        if (text[i] == ')') --depth;
+        if (text[i] == '[' && depth == 1) {
+          bracket = i;
+          break;
+        }
+      }
+      if (bracket == std::string::npos) continue;
+      ParallelLambda lambda;
+      if (!ParseLambda(text, bracket, &lambda)) continue;
+      if (!lambda.default_ref_capture && lambda.ref_captures.empty()) continue;
+      CheckLambda(file, flat, lambda, call, out);
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace ldpr

@@ -2,16 +2,23 @@
 //
 // Per-rule fixtures run through LintScannedTree on in-memory files
 // (positive finding, pragma suppression, allowlist hit, stale
-// allowlist error), plus the golden run: the real tree, scanned with
-// the real allowlist, must be clean — the same gate CI enforces via
-// `ldpr_lint --repo=. src tools bench tests`.
+// allowlist error), golden-byte locks on the SARIF/github emitters,
+// the --fix=header-guards round trip, plus the golden run: the real
+// tree, scanned with the real allowlist, must be clean — the same
+// gate CI enforces via `ldpr_lint --repo=. src tools bench tests
+// examples`.
 
 #include "lint/lint.h"
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "lint/fix.h"
+#include "lint/format.h"
+#include "lint/include_graph.h"
 #include "lint/source_file.h"
 
 namespace ldpr {
@@ -361,20 +368,393 @@ TEST(RuleHeaderGuardTest, CanonicalGuardRequired) {
                          "src/ldp/grr.h", 1));
 }
 
+// --------------------------------------------------------------- R6
+
+// The layer contract fixtures opt in by carrying ci/lint_layers.txt;
+// trees without it (every fixture above) skip R6 entirely.
+constexpr char kTwoLayers[] = "util\nldp\n";
+
+TEST(RuleLayeringTest, FlagsUpwardInclude) {
+  const auto findings = Lint(TreeOf({
+      {"ci/lint_layers.txt", kTwoLayers},
+      {"src/ldp/b.h", "#ifndef LDPR_LDP_B_H_\n#define LDPR_LDP_B_H_\n#endif\n"},
+      {"src/util/a.cc", "#include \"ldp/b.h\"\nint x;\n"},
+  }));
+  ASSERT_TRUE(HasFinding(findings, "R6", "src/util/a.cc", 1));
+  bool saw_upward = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "R6" && f.message.find("upward include") != std::string::npos)
+      saw_upward = true;
+  }
+  EXPECT_TRUE(saw_upward);
+}
+
+TEST(RuleLayeringTest, DownwardIncludesAreClean) {
+  EXPECT_TRUE(Lint(TreeOf({
+                  {"ci/lint_layers.txt", kTwoLayers},
+                  {"src/util/a.h",
+                   "#ifndef LDPR_UTIL_A_H_\n#define LDPR_UTIL_A_H_\n#endif\n"},
+                  {"src/ldp/b.cc", "#include \"util/a.h\"\nint x;\n"},
+              })).empty());
+}
+
+TEST(RuleLayeringTest, FlagsUnlistedSubdir) {
+  const auto findings = Lint(TreeOf({
+      {"ci/lint_layers.txt", kTwoLayers},
+      {"src/newdir/a.cc", "int x;\n"},
+  }));
+  ASSERT_TRUE(HasFinding(findings, "R6", "ci/lint_layers.txt", 1));
+  EXPECT_NE(findings[0].message.find("src/newdir/"), std::string::npos);
+}
+
+TEST(RuleLayeringTest, FlagsIncludeCycle) {
+  const auto findings = Lint(TreeOf({
+      {"ci/lint_layers.txt", kTwoLayers},
+      {"src/ldp/a.h",
+       "#ifndef LDPR_LDP_A_H_\n#define LDPR_LDP_A_H_\n"
+       "#include \"ldp/b.h\"\n#endif\n"},
+      {"src/ldp/b.h",
+       "#ifndef LDPR_LDP_B_H_\n#define LDPR_LDP_B_H_\n"
+       "#include \"ldp/a.h\"\n#endif\n"},
+  }));
+  bool saw_cycle = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "R6" && f.message.find("include cycle") != std::string::npos)
+      saw_cycle = true;
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+TEST(RuleLayeringTest, PragmaSuppressesUpwardInclude) {
+  EXPECT_TRUE(Lint(TreeOf({
+                  {"ci/lint_layers.txt", kTwoLayers},
+                  {"src/ldp/b.h",
+                   "#ifndef LDPR_LDP_B_H_\n#define LDPR_LDP_B_H_\n#endif\n"},
+                  {"src/util/a.cc",
+                   "// lint: layering-ok(transitional, tracked in ROADMAP)\n"
+                   "#include \"ldp/b.h\"\nint x;\n"},
+              })).empty());
+}
+
+TEST(RuleLayeringTest, DotRendersLayersAndEdges) {
+  LintTree tree = TreeOf({
+      {"ci/lint_layers.txt", kTwoLayers},
+      {"src/util/a.h",
+       "#ifndef LDPR_UTIL_A_H_\n#define LDPR_UTIL_A_H_\n#endif\n"},
+      {"src/ldp/b.cc", "#include \"util/a.h\"\n"},
+  });
+  const LintResult result = LintScannedTree(tree, "", "");
+  EXPECT_NE(result.include_graph_dot.find("digraph ldpr_includes"),
+            std::string::npos);
+  EXPECT_NE(result.include_graph_dot.find("\"ldp\" -> \"util\" [label=\"1\"]"),
+            std::string::npos);
+  EXPECT_NE(result.include_graph_dot.find("layer 0"), std::string::npos);
+}
+
+// --------------------------------------------------------------- R7
+
+constexpr char kRacyParallelFor[] = R"cpp(
+void F(ThreadPool& pool, std::vector<double>& rows, size_t n) {
+  double total = 0.0;
+  pool.ParallelFor(0, n, [&](size_t i) {
+    total += Work(i);
+    rows[i] = total;
+  });
+}
+)cpp";
+
+TEST(RuleParCaptureTest, FlagsUnindexedRefWrite) {
+  const auto findings =
+      Lint(TreeOf({{"src/sim/x.cc", kRacyParallelFor}}));
+  ASSERT_TRUE(HasFinding(findings, "R7", "src/sim/x.cc", 5));
+  EXPECT_NE(findings[0].message.find("'total'"), std::string::npos);
+  // The loop-indexed write to rows[i] is the sanctioned pattern.
+  EXPECT_FALSE(HasFinding(findings, "R7", "src/sim/x.cc", 6));
+}
+
+TEST(RuleParCaptureTest, LoopIndexedSlotsAndLocalsAreClean) {
+  EXPECT_TRUE(Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F(ThreadPool& pool, std::vector<double>& rows, size_t n) {
+  pool.ParallelFor(0, n, [&](size_t i) {
+    double local = Work(i);
+    local += Extra(i);
+    rows[i] = local;
+  });
+}
+)cpp"}})).empty());
+}
+
+TEST(RuleParCaptureTest, ValueCapturesAreClean) {
+  // A value capture is the worker's own copy; writes to it cannot
+  // race across iterations.
+  EXPECT_TRUE(Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F(ThreadPool& pool, std::vector<double>& rows, size_t n, double bias) {
+  pool.ParallelFor(0, n, [&rows, bias](size_t i) mutable {
+    bias *= 2;
+    rows[i] = bias;
+  });
+}
+)cpp"}})).empty());
+}
+
+TEST(RuleParCaptureTest, SubmitLambdasAreCovered) {
+  const auto findings = Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F(ThreadPool& pool, size_t& done) {
+  pool.Submit([&] {
+    done++;
+  });
+}
+)cpp"}}));
+  ASSERT_TRUE(HasFinding(findings, "R7", "src/sim/x.cc", 4));
+  EXPECT_NE(findings[0].message.find("Submit"), std::string::npos);
+}
+
+TEST(RuleParCaptureTest, PragmaAndAllowlistSuppress) {
+  EXPECT_TRUE(Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F(ThreadPool& pool, std::vector<double>& rows, size_t n) {
+  double total = 0.0;
+  pool.ParallelFor(0, n, [&](size_t i) {
+    total += Work(i);  // lint: par-capture-ok(guarded by rows mutex upstream)
+    rows[i] = total;
+  });
+}
+)cpp"}})).empty());
+
+  const LintTree tree = TreeOf({{"src/sim/x.cc", kRacyParallelFor}});
+  EXPECT_TRUE(Lint(tree, "R7 src/sim/x.cc by-reference capture 'total'\n")
+                  .empty());
+  const auto stale =
+      Lint(tree, "R7 src/sim/x.cc by-reference capture 'total'\n"
+                 "R7 src/sim/gone.cc by-reference capture 'x'\n");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "allowlist");
+  EXPECT_EQ(stale[0].line, 2u);
+}
+
+// --------------------------------------------------------------- R8
+
+TEST(RuleSeedTest, FlagsLiteralSeeds) {
+  const auto findings = Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F() {
+  Rng rng(123);
+}
+)cpp"}}));
+  ASSERT_TRUE(HasFinding(findings, "R8", "src/sim/x.cc", 3));
+  EXPECT_NE(findings[0].message.find("DeriveSeed"), std::string::npos);
+}
+
+TEST(RuleSeedTest, DerivedAndNamedSeedsAreClean) {
+  EXPECT_TRUE(Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F(uint64_t seed, size_t chunk, const Config& config) {
+  Rng a(DeriveSeed(seed, chunk));
+  Rng b(trial_seed);
+  Rng c(config.seed);
+  Rng d(kDemoSeed);
+}
+)cpp"}})).empty());
+}
+
+TEST(RuleSeedTest, FlagsByValueRngParameter) {
+  const auto findings = Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+double G(Rng rng);
+double H(Rng& rng);
+double I(const Rng* rng);
+)cpp"}}));
+  ASSERT_TRUE(HasFinding(findings, "R8", "src/sim/x.cc", 2));
+  EXPECT_NE(findings[0].message.find("forks the stream"), std::string::npos);
+  EXPECT_FALSE(HasFinding(findings, "R8", "src/sim/x.cc", 3));
+  EXPECT_FALSE(HasFinding(findings, "R8", "src/sim/x.cc", 4));
+}
+
+TEST(RuleSeedTest, MemberDeclarationsAndUtilRandomAreExempt) {
+  EXPECT_TRUE(Lint(TreeOf({{"src/stream/arrival.h", R"cpp(
+#ifndef LDPR_STREAM_ARRIVAL_H_
+#define LDPR_STREAM_ARRIVAL_H_
+class A {
+  Rng rng_;
+};
+#endif  // LDPR_STREAM_ARRIVAL_H_
+)cpp"}})).empty());
+  EXPECT_TRUE(
+      Lint(TreeOf({{"src/util/random.cc", "Rng MakeDefault() { return "
+                                          "Rng(0x9E3779B97F4A7C15ULL); }\n"}}))
+          .empty());
+}
+
+TEST(RuleSeedTest, ExamplesAreCoveredTestsAreNot) {
+  // examples/*.cpp are runnable docs and lint like product code;
+  // tests/ pin literal seeds on purpose and stay exempt.
+  EXPECT_TRUE(HasFinding(Lint(TreeOf({{"examples/demo.cpp",
+                                       "int main() { Rng rng(5); }\n"}})),
+                         "R8", "examples/demo.cpp", 1));
+  EXPECT_TRUE(Lint(TreeOf({{"tests/foo_test.cc",
+                            "void T() { Rng rng(5); }\n"}}))
+                  .empty());
+}
+
+TEST(RuleSeedTest, PragmaSuppresses) {
+  EXPECT_TRUE(Lint(TreeOf({{"src/sim/x.cc", R"cpp(
+void F() {
+  Rng rng(123);  // lint: seed-ok(calibration stream, never trial-visible)
+}
+)cpp"}})).empty());
+}
+
+// ---------------------------------------------------------- emitters
+
+const std::vector<Finding> kEmitterFindings = {
+    {"src/ldp/grr.cc", 4, "R1", "uses std::random_device"},
+    {"src/sim/x.cc", 9, "R8", "Rng constructed from '42'"},
+};
+
+TEST(FormatTest, SarifGoldenBytes) {
+  const std::string expected = R"json({
+  "version": "2.1.0",
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "ldpr_lint",
+          "informationUri": "https://example.invalid/ldprecover/docs/architecture",
+          "rules": [
+            {"id": "R1", "shortDescription": {"text": "Banned nondeterminism source (rand/random_device/clock/lgamma)"}},
+            {"id": "R2", "shortDescription": {"text": "Iteration over an unordered container in src/"}},
+            {"id": "R3", "shortDescription": {"text": "Floating-point accumulation in a loop outside the exact-sum allowlist"}},
+            {"id": "R4", "shortDescription": {"text": "Test/tool registration drift between CMake and the CI matrix"}},
+            {"id": "R5", "shortDescription": {"text": "Non-canonical or missing include guard"}},
+            {"id": "R6", "shortDescription": {"text": "Layer-DAG violation in the src/ include graph"}},
+            {"id": "R7", "shortDescription": {"text": "By-reference capture written inside a parallel lambda"}},
+            {"id": "R8", "shortDescription": {"text": "Rng seeded outside the DeriveSeed discipline"}},
+            {"id": "allowlist", "shortDescription": {"text": "Stale allowlist entry that matches no finding"}}
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "R1",
+          "level": "error",
+          "message": {"text": "uses std::random_device"},
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "src/ldp/grr.cc"}, "region": {"startLine": 4}}}]
+        },
+        {
+          "ruleId": "R8",
+          "level": "error",
+          "message": {"text": "Rng constructed from '42'"},
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "src/sim/x.cc"}, "region": {"startLine": 9}}}]
+        }
+      ]
+    }
+  ]
+}
+)json";
+  EXPECT_EQ(FindingsToSarif(kEmitterFindings), expected);
+}
+
+TEST(FormatTest, SarifEscapesJson) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 1, "R1", "quote \" backslash \\ newline \n done"}};
+  const std::string sarif = FindingsToSarif(findings);
+  EXPECT_NE(sarif.find("quote \\\" backslash \\\\ newline \\n done"),
+            std::string::npos);
+}
+
+TEST(FormatTest, GithubGoldenBytes) {
+  EXPECT_EQ(FindingsToGithub(kEmitterFindings),
+            "::error file=src/ldp/grr.cc,line=4,title=ldpr_lint R1::"
+            "[R1] uses std::random_device\n"
+            "::error file=src/sim/x.cc,line=9,title=ldpr_lint R8::"
+            "[R8] Rng constructed from '42'\n");
+  // Workflow-command escaping of %, CR, LF.
+  const std::vector<Finding> tricky = {{"a.cc", 1, "R1", "50% bad\nnext"}};
+  EXPECT_EQ(FindingsToGithub(tricky),
+            "::error file=a.cc,line=1,title=ldpr_lint R1::"
+            "[R1] 50%25 bad%0Anext\n");
+}
+
+// --------------------------------------------------------- fix mode
+
+TEST(FixTest, CanonicalHeaderGuardMatchesRuleR5) {
+  EXPECT_EQ(CanonicalHeaderGuard("src/ldp/grr.h"), "LDPR_LDP_GRR_H_");
+  EXPECT_EQ(CanonicalHeaderGuard("src/util/thread_pool.h"),
+            "LDPR_UTIL_THREAD_POOL_H_");
+}
+
+TEST(FixTest, PlansOnlyWrongGuards) {
+  const LintTree tree = TreeOf({
+      {"src/ldp/ok.h",
+       "#ifndef LDPR_LDP_OK_H_\n#define LDPR_LDP_OK_H_\n#endif\n"},
+      {"src/ldp/wrong.h",
+       "#ifndef WRONG_H\n#define WRONG_H\n#endif  // WRONG_H\n"},
+      {"src/ldp/none.h", "int x;\n"},  // guard-less: R5 finding, not fixable
+  });
+  const auto fixes = PlanHeaderGuardFixes(tree);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].path, "src/ldp/wrong.h");
+  EXPECT_EQ(fixes[0].old_guard, "WRONG_H");
+  EXPECT_EQ(fixes[0].new_guard, "LDPR_LDP_WRONG_H_");
+}
+
+TEST(FixTest, ApplyRoundTripIsCleanAndIdempotent) {
+  const std::string before =
+      "#ifndef WRONG_H\n#define WRONG_H\n"
+      "int wrong_h_count;  // WRONG_H_EXTRA must not be touched\n"
+      "#endif  // WRONG_H\n";
+  const HeaderGuardFix fix{"src/ldp/wrong.h", "WRONG_H", "LDPR_LDP_WRONG_H_"};
+  const std::string after = ApplyHeaderGuardFix(before, fix);
+  // All three guard mentions renamed; the token-boundary lookalikes
+  // (lowercase identifier, WRONG_H_EXTRA) survive.
+  EXPECT_EQ(after,
+            "#ifndef LDPR_LDP_WRONG_H_\n#define LDPR_LDP_WRONG_H_\n"
+            "int wrong_h_count;  // WRONG_H_EXTRA must not be touched\n"
+            "#endif  // LDPR_LDP_WRONG_H_\n");
+  // The rewritten header lints clean and a second application is a
+  // no-op.
+  const LintTree fixed = TreeOf({{"src/ldp/wrong.h", after}});
+  EXPECT_TRUE(Lint(fixed).empty());
+  EXPECT_TRUE(PlanHeaderGuardFixes(fixed).empty());
+  EXPECT_EQ(ApplyHeaderGuardFix(after, fix), after);
+}
+
 // ------------------------------------------------------- golden run
 
 #ifdef LDPR_SOURCE_DIR
+// The roots the repo gates on.  ldpr_lint_clean in CMakeLists.txt and
+// the CI lint job must scan exactly this list; the assertion below
+// keeps them from drifting apart.
+const std::vector<std::string> kGoldenRoots = {"src", "tools", "bench",
+                                               "tests", "examples"};
+
 TEST(GoldenTreeTest, RealTreeIsClean) {
   LintOptions options;
   options.repo_root = LDPR_SOURCE_DIR;
   options.allowlist_path = "ci/lint_allowlist.txt";
-  options.roots = {"src", "tools", "bench", "tests"};
+  options.roots = kGoldenRoots;
   auto result = RunLint(options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   for (const Finding& finding : result.value().findings) {
     ADD_FAILURE() << FormatFinding(finding);
   }
   EXPECT_GT(result.value().files_scanned, 100u);
+  // The DOT artifact the CI job uploads is part of the result.
+  EXPECT_NE(result.value().include_graph_dot.find("digraph ldpr_includes"),
+            std::string::npos);
+}
+
+TEST(GoldenTreeTest, CMakeGateScansTheSameRoots) {
+  std::ifstream in(std::string(LDPR_SOURCE_DIR) + "/CMakeLists.txt");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string expected;
+  for (const std::string& root : kGoldenRoots) {
+    expected += expected.empty() ? root : " " + root;
+  }
+  // The ldpr_lint_clean ctest entry must name exactly these roots, in
+  // this order, as the trailing arguments of its COMMAND.
+  EXPECT_NE(buffer.str().find(expected + ")"), std::string::npos)
+      << "ldpr_lint_clean in CMakeLists.txt does not scan '" << expected
+      << "'";
 }
 
 TEST(GoldenTreeTest, SeededViolationIsCaught) {
